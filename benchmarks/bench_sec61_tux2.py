@@ -1,0 +1,72 @@
+"""Sec. 6.1 — the TuX² comparison: throughput is not convergence.
+
+Paper numbers: TuX² SGD MF takes ~0.7 s per Netflix pass on 8 machines
+(Orion: ~1.4 s on equivalent hardware) — roughly 2x Orion's raw
+throughput.  But with its best tuned mini-batch size, TuX² reaches a
+nonzero squared loss of ~7x10^10 in ~600 s on 32 machines, while Orion
+reaches ~8.3x10^9 in ~68 s on 8 machines: dependence violation makes the
+fast engine lose the overall-convergence race by an order of magnitude.
+
+Shape asserted here: the TuX²-style engine posts a *lower* time per
+iteration yet Orion reaches TuX²'s final loss in a fraction of its time.
+"""
+
+import pytest
+
+import _workloads as wl
+from repro.apps import SGDMFApp, build_sgd_mf
+from repro.baselines import run_tux2_minibatch
+
+EPOCHS = 8
+
+
+def _run_both():
+    dataset = wl.netflix_bench()
+    cluster = wl.mf_cluster()
+    orion = build_sgd_mf(dataset, cluster=cluster, hyper=wl.MF_HYPER).run(EPOCHS)
+    tux2 = run_tux2_minibatch(
+        SGDMFApp(dataset, wl.MF_HYPER), cluster, EPOCHS
+    )
+    return orion, tux2
+
+
+@pytest.mark.benchmark(group="sec61")
+def test_sec61_tux2(benchmark, report):
+    orion, tux2 = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+    target = tux2.final_loss
+    orion_time_to_target = orion.time_to_reach(target)
+    rows = [
+        (
+            "Orion",
+            f"{orion.final_loss:.1f}",
+            f"{orion.time_per_iteration():.4f}",
+            f"{orion.total_time_s:.3f}",
+        ),
+        (
+            "TuX2-style",
+            f"{tux2.final_loss:.1f}",
+            f"{tux2.time_per_iteration():.4f}",
+            f"{tux2.total_time_s:.3f}",
+        ),
+    ]
+    detail = (
+        f"\nOrion reaches TuX2's final loss ({target:.1f}) in "
+        f"{orion_time_to_target:.3f}s vs TuX2's {tux2.total_time_s:.3f}s"
+        if orion_time_to_target is not None
+        else ""
+    )
+    report(
+        "Sec 6.1: Orion vs TuX2-style mini-batch engine (SGD MF)",
+        wl.fmt_table(["engine", "final loss", "s/iter", "total s"], rows)
+        + detail
+        + "\npaper shape: TuX2 has ~2x Orion's raw throughput but loses "
+        "the overall-convergence race by an order of magnitude",
+    )
+    # Higher raw throughput (paper: ~2x)...
+    assert tux2.time_per_iteration() < 0.7 * orion.time_per_iteration()
+    # ...but far worse quality after the same number of passes...
+    assert orion.final_loss < 0.5 * tux2.final_loss
+    # ...so Orion wins the overall convergence race: it reaches TuX2's
+    # final quality no later than TuX2 does (and keeps improving).
+    assert orion_time_to_target is not None
+    assert orion_time_to_target <= tux2.total_time_s

@@ -1,0 +1,47 @@
+"""Benchmark-suite plumbing: result tables printed in the terminal summary.
+
+Each benchmark computes the rows/series of one paper figure or table and
+registers a formatted block via the ``report`` fixture.  A terminal-summary
+hook prints every block after the pytest-benchmark timing table (the hook
+runs outside stdout capture, so the paper-versus-measured tables are
+visible without ``-s``).  Blocks are also written to
+``benchmarks/results/<name>.txt`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Dict
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+_RESULTS: Dict[str, str] = {}
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def report():
+    """Register one experiment's formatted output block."""
+
+    def _record(name: str, text: str) -> None:
+        _RESULTS[name] = text.rstrip()
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        slug = re.sub(r"[^A-Za-z0-9]+", "_", name).strip("_").lower()
+        with open(os.path.join(_RESULTS_DIR, f"{slug}.txt"), "w") as handle:
+            handle.write(text.rstrip() + "\n")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    terminalreporter.write_sep("=", "paper figure / table reproductions")
+    for name in sorted(_RESULTS):
+        terminalreporter.write_sep("-", name)
+        for line in _RESULTS[name].splitlines():
+            terminalreporter.write_line(line)

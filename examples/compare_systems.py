@@ -1,0 +1,84 @@
+"""Compare parallelization strategies on one workload (paper Sec. 6 in one go).
+
+Runs the same SGD MF problem through every engine in the library —
+serial, Orion (unordered and ordered 2D), Bösen data parallelism, Bösen
+with managed communication, STRADS-style manual model parallelism, and
+TensorFlow-style mini-batching — and prints one comparison table of
+per-iteration convergence, virtual time and traffic.
+
+Run:  python examples/compare_systems.py
+"""
+
+from repro import ClusterSpec
+from repro.apps import MFHyper, SGDMFApp, build_sgd_mf
+from repro.apps.sgd_mf import mf_cost_model
+from repro.baselines import (
+    run_bosen,
+    run_managed_comm,
+    run_serial,
+    run_strads,
+    run_tensorflow_minibatch,
+)
+from repro.data import netflix_like
+
+EPOCHS = 8
+
+dataset = netflix_like(num_rows=150, num_cols=120, num_ratings=8000, seed=21)
+hyper = MFHyper(rank=8, step_size=0.04)
+app = SGDMFApp(dataset, hyper)
+cost = mf_cost_model(hyper)
+cluster = ClusterSpec(num_machines=4, workers_per_machine=8, cost=cost)
+
+runs = []
+runs.append(run_serial(app, EPOCHS, cost=cost, label="Serial"))
+runs.append(
+    build_sgd_mf(dataset, cluster=cluster, hyper=hyper, label="Orion (2D unordered)")
+    .run(EPOCHS)
+)
+runs.append(
+    build_sgd_mf(
+        dataset, cluster=cluster, hyper=hyper, ordered=True,
+        label="Orion (2D ordered)",
+    ).run(EPOCHS)
+)
+runs.append(run_bosen(app, cluster, EPOCHS, label="Bosen (data parallel)"))
+runs.append(
+    run_managed_comm(
+        app, cluster, EPOCHS, bandwidth_budget_mbps=1600,
+        label="Bosen + managed comm",
+    )
+)
+runs.append(
+    run_strads(
+        lambda c: build_sgd_mf(dataset, cluster=c, hyper=hyper),
+        cluster,
+        EPOCHS,
+        label="STRADS (manual model parallel)",
+    )
+)
+runs.append(
+    run_tensorflow_minibatch(
+        app,
+        ClusterSpec.single_machine(32, cost=cost),
+        EPOCHS,
+        batch_size=dataset.num_entries // 4,
+        step_scale=4.0,
+        label="TensorFlow-style mini-batch",
+    )
+)
+
+from repro.tools import render_report
+
+print(
+    render_report(
+        runs,
+        title="SGD MF: one workload, every parallelization strategy",
+        x_axis="epoch",
+    )
+)
+
+print(
+    "\nThe paper's headline shape: dependence-aware parallelization (Orion,"
+    "\nSTRADS) matches serial per-iteration convergence while data-parallel"
+    "\nand mini-batch engines trade convergence for synchronization slack."
+)

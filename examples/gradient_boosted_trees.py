@@ -1,0 +1,39 @@
+"""Gradient boosted trees: 1D-parallel histogram GBT in the Orion model.
+
+One boosting round is several parallel loops — histogram accumulation (with
+buffered, data-dependent histogram writes), tree growing, and prediction
+updates — interleaved with driver-side split selection.  Static analysis
+pins the per-sample arrays by the sample dimension and parallelizes each
+loop 1D over samples (the paper's Table 2 GBT entry).
+
+Run:  python examples/gradient_boosted_trees.py
+"""
+
+import numpy as np
+
+from repro import ClusterSpec
+from repro.apps import GBTHyper, build_gbt
+from repro.data import regression_table
+
+dataset = regression_table(num_samples=1200, num_features=6, noise=0.05, seed=11)
+hyper = GBTHyper(num_rounds=12, max_depth=3, learning_rate=0.3, num_bins=16)
+
+program = build_gbt(
+    dataset,
+    cluster=ClusterSpec(num_machines=2, workers_per_machine=4),
+    hyper=hyper,
+)
+
+print("chosen parallelization (histogram loop):", program.plan.describe())
+
+history = program.run(epochs=hyper.num_rounds)
+print("\nmean squared error by boosting round:")
+print(f"  initial: {history.meta['initial_loss']:.4f}")
+for record in history.records:
+    print(f"  round {record.epoch:2d}: {record.loss:.4f}")
+
+preds = program.arrays["preds"].values
+residual = dataset.targets - preds
+print(f"\nfinal RMSE: {np.sqrt(np.mean(residual ** 2)):.4f}")
+print(f"target std: {dataset.targets.std():.4f}")
+print(f"variance explained: {1 - residual.var() / dataset.targets.var():.1%}")

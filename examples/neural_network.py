@@ -1,0 +1,74 @@
+"""Data-parallel neural-network training via dependence violation.
+
+Paper Sec. 3.2: "DNNs commonly read and update all weights in each
+iteration, therefore serializable parallelization over mini-batches is not
+applicable.  DNN training is most commonly parallelized with data
+parallelism, which can be achieved in Orion by permitting dependence
+violation" — routing the dense weight updates through DistArray Buffers.
+
+This example trains a one-hidden-layer MLP classifier: the loop body reads
+every weight matrix with full slices and buffers whole-tensor gradient
+updates with a bounded delay (`max_delay`), so static analysis selects 1D
+data parallelism.  It also shows what happens when the staleness bound is
+removed.
+
+Run:  python examples/neural_network.py
+"""
+
+from repro import ClusterSpec
+from repro.apps.mlp import MLPApp, MLPHyper, build_orion_program, make_blobs
+
+NUM_FEATURES, NUM_CLASSES = 6, 3
+entries = make_blobs(
+    num_samples=600,
+    num_features=NUM_FEATURES,
+    num_classes=NUM_CLASSES,
+    seed=4,
+)
+cluster = ClusterSpec(num_machines=2, workers_per_machine=4)
+hyper = MLPHyper(hidden_units=16, step_size=0.05, max_delay=8)
+
+program = build_orion_program(
+    entries, NUM_FEATURES, NUM_CLASSES, cluster=cluster, hyper=hyper, seed=1
+)
+print("chosen parallelization:", program.plan.describe())
+print(
+    "placements:",
+    {name: p.kind.value for name, p in program.plan.placements.items()},
+)
+print("(all weights server-resident: dense access, buffered updates)\n")
+
+history = program.run(epochs=8)
+print("mean cross-entropy by pass:")
+print(f"  initial: {history.meta['initial_loss']:.4f}")
+for record in history.records:
+    print(f"  pass {record.epoch}: {record.loss:.4f}")
+
+# Accuracy via the numpy twin sharing the same weights.
+app = MLPApp(entries, NUM_FEATURES, NUM_CLASSES, hyper)
+state = {
+    "W1": program.arrays["W1"].values,
+    "B1": program.arrays["B1"].values,
+    "W2": program.arrays["W2"].values,
+    "B2": program.arrays["B2"].values,
+}
+print(f"\ntraining accuracy: {app.accuracy(state):.1%}")
+
+# The max_delay bound trades communication for freshness (paper Sec. 3.3:
+# "the application program may optionally bound how long the writes can be
+# buffered"): a tight bound flushes gradients often — more traffic, less
+# staleness; an unbounded buffer flushes once per block.
+print("\nmax_delay sweep (3 passes each):")
+print(f"  {'max_delay':>10s} {'final loss':>12s} {'MB sent/pass':>14s}")
+for max_delay in (2, 8, 32, 10_000):
+    variant = build_orion_program(
+        entries,
+        NUM_FEATURES,
+        NUM_CLASSES,
+        cluster=cluster,
+        hyper=MLPHyper(hidden_units=16, step_size=0.05, max_delay=max_delay),
+        seed=1,
+    )
+    outcome = variant.run(epochs=3)
+    mb_per_pass = outcome.records[-1].bytes_sent / 1e6
+    print(f"  {max_delay:>10d} {outcome.final_loss:12.4f} {mb_per_pass:14.3f}")

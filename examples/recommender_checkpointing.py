@@ -1,0 +1,63 @@
+"""Recommender training with AdaRev, skew handling and checkpointing.
+
+A more production-shaped example: a *skewed* rating matrix (power-law user
+popularity, like real recommender data), adaptive-revision updates,
+histogram-balanced partitioning, and fault-tolerance via periodic
+DistArray checkpoints that a resumed run restores.
+
+Run:  python examples/recommender_checkpointing.py
+"""
+
+import os
+import tempfile
+
+from repro import ClusterSpec
+from repro.apps import MFHyper, build_sgd_mf
+from repro.apps.sgd_mf import mf_cost_model
+from repro.data import netflix_like
+from repro.runtime.checkpoint import checkpoint_arrays, restore_arrays
+
+dataset = netflix_like(
+    num_rows=200, num_cols=160, num_ratings=9000, skew=1.0, seed=13
+)
+hyper = MFHyper(rank=8, adarev=True, adarev_step=0.3)
+cluster = ClusterSpec(
+    num_machines=2, workers_per_machine=4, cost=mf_cost_model(hyper)
+)
+
+program = build_sgd_mf(dataset, cluster=cluster, hyper=hyper, seed=4)
+print("chosen parallelization:", program.plan.describe())
+
+# Histogram-balanced partitioning handles the power-law skew: inspect the
+# per-worker load balance the executor produced.
+sizes = program.train_loop.executor.partitions.size_matrix().sum(axis=1)
+print(
+    f"per-worker entries (balanced): min={sizes.min()}, max={sizes.max()}, "
+    f"imbalance={sizes.max() / sizes.mean():.2f}x"
+)
+
+checkpoint_dir = tempfile.mkdtemp(prefix="orion_ckpt_")
+factors = [program.arrays["W"], program.arrays["H"]]
+
+print("\ntraining with a checkpoint every 3 passes:")
+history_losses = [program.loss_fn()]
+for epoch in range(1, 10):
+    program.epoch_fn()
+    loss = program.loss_fn()
+    history_losses.append(loss)
+    marker = ""
+    if epoch % 3 == 0:
+        checkpoint_arrays(factors, checkpoint_dir, tag=f"epoch{epoch}")
+        marker = f"  [checkpointed -> {os.path.basename(checkpoint_dir)}]"
+    print(f"  pass {epoch}: loss={loss:10.2f}{marker}")
+
+# Simulate a crash after pass 9 and resume from the pass-6 checkpoint.
+print("\nsimulating a crash; restoring the epoch-6 checkpoint...")
+restore_arrays(factors, checkpoint_dir, tag="epoch6")
+print(f"  loss after restore: {program.loss_fn():10.2f}")
+print(f"  loss at pass 6 was: {history_losses[6]:10.2f}")
+
+print("\nresuming training from the checkpoint:")
+for epoch in range(7, 10):
+    program.epoch_fn()
+    print(f"  pass {epoch}: loss={program.loss_fn():10.2f}")

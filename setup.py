@@ -1,0 +1,6 @@
+"""Setuptools shim enabling legacy editable installs on offline machines
+(no `wheel` package available, so the PEP 517 editable path cannot build)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""Static dependence analysis and parallelization (paper Sec. 4).
+
+Submodules:
+
+* :mod:`repro.analysis.subscript` — the restricted subscript grammar.
+* :mod:`repro.analysis.ast_utils` — AST parsing helpers.
+* :mod:`repro.analysis.loop_info` — loop-body information extraction.
+* :mod:`repro.analysis.depvec` — dependence vectors and Alg. 2.
+* :mod:`repro.analysis.strategy` — 1D/2D/unimodular strategy selection.
+* :mod:`repro.analysis.unimodular` — unimodular transformation search.
+* :mod:`repro.analysis.prefetch` — bulk-prefetch function synthesis.
+"""
+
+from repro.analysis.depvec import (
+    ANY,
+    NEG,
+    POS,
+    ArrayRef,
+    DepVector,
+    compute_dependence_vectors,
+)
+from repro.analysis.loop_info import LoopInfo, analyze_loop_body
+from repro.analysis.prefetch import PrefetchFunction, synthesize_prefetch
+from repro.analysis.strategy import (
+    Placement,
+    PlacementKind,
+    Plan,
+    Strategy,
+    choose_plan,
+)
+from repro.analysis.unimodular import find_transformation
+
+__all__ = [
+    "ANY",
+    "NEG",
+    "POS",
+    "ArrayRef",
+    "DepVector",
+    "compute_dependence_vectors",
+    "LoopInfo",
+    "analyze_loop_body",
+    "PrefetchFunction",
+    "synthesize_prefetch",
+    "Placement",
+    "PlacementKind",
+    "Plan",
+    "Strategy",
+    "choose_plan",
+    "find_transformation",
+]

@@ -1,0 +1,167 @@
+"""AST helpers shared by the loop analyzer and the prefetch synthesizer.
+
+The paper analyzes the for-loop body as a Julia AST inside the
+``@parallel_for`` macro; the Python rendering analyzes the loop-body
+*function* via :mod:`ast`.  These helpers recover the function's source,
+resolve its free variables against closure and globals, and parse the
+restricted subscript grammar the paper supports: at most one loop index
+variable plus/minus a constant per subscript position.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.analysis import subscript as sub
+from repro.errors import AnalysisError
+
+__all__ = [
+    "get_function_def",
+    "resolve_free_variables",
+    "IndexBinding",
+    "parse_axis",
+    "constant_int",
+]
+
+
+def get_function_def(fn: Callable[..., Any]) -> ast.FunctionDef:
+    """Return the ``ast.FunctionDef`` of a plain Python function.
+
+    Raises :class:`~repro.errors.AnalysisError` when the source is not
+    recoverable (C functions, lambdas defined on exec'd strings, ...).
+    """
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError) as exc:
+        raise AnalysisError(
+            f"cannot read source of loop body {fn!r}: {exc}"
+        ) from exc
+    source = textwrap.dedent(source)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:  # decorated fragments, etc.
+        raise AnalysisError(f"cannot parse loop body source: {exc}") from exc
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise AnalysisError("loop body must be a plain def function")
+
+
+def resolve_free_variables(fn: Callable[..., Any]) -> Dict[str, Any]:
+    """Map each name the function can see (closure first, then globals) to
+    its current object.  Builtins are excluded; unresolvable names simply do
+    not appear, and the analyzer decides how to treat them."""
+    env: Dict[str, Any] = {}
+    env.update(getattr(fn, "__globals__", {}) or {})
+    code = fn.__code__
+    closure = fn.__closure__ or ()
+    for name, cell in zip(code.co_freevars, closure):
+        try:
+            env[name] = cell.cell_contents
+        except ValueError:  # empty cell
+            continue
+    return env
+
+
+def is_builtin_name(name: str) -> bool:
+    """Whether ``name`` resolves in Python's builtins."""
+    return hasattr(builtins, name)
+
+
+@dataclass(frozen=True)
+class IndexBinding:
+    """How a local variable name relates to the loop index vector.
+
+    ``dim_idx is None`` means the name is bound to the *whole* index tuple;
+    otherwise the name equals ``key[dim_idx] + const``.
+    """
+
+    dim_idx: Optional[int]
+    const: int = 0
+
+    @property
+    def is_whole_key(self) -> bool:
+        """True when this binding aliases the entire index tuple."""
+        return self.dim_idx is None
+
+
+def constant_int(node: ast.expr) -> Optional[int]:
+    """Extract a literal integer (allowing unary minus), else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = constant_int(node.operand)
+        if inner is not None:
+            return -inner
+    return None
+
+
+def _index_expr(
+    node: ast.expr, bindings: Dict[str, IndexBinding]
+) -> Optional[Tuple[int, int]]:
+    """Parse ``key[d]``, an alias of it, or alias ± const.
+
+    Returns ``(dim_idx, const)`` or ``None`` when the expression is not a
+    single-loop-index form.
+    """
+    if isinstance(node, ast.Name):
+        binding = bindings.get(node.id)
+        if binding is not None and not binding.is_whole_key:
+            return (binding.dim_idx, binding.const)
+        return None
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        if isinstance(base, ast.Name):
+            binding = bindings.get(base.id)
+            if binding is not None and binding.is_whole_key:
+                position = constant_int(node.slice)
+                if position is not None:
+                    return (position, 0)
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        sign = 1 if isinstance(node.op, ast.Add) else -1
+        left_idx = _index_expr(node.left, bindings)
+        right_const = constant_int(node.right)
+        if left_idx is not None and right_const is not None:
+            return (left_idx[0], left_idx[1] + sign * right_const)
+        # const + key[d] (addition only; const - key[d] is not supported)
+        if sign == 1:
+            left_const = constant_int(node.left)
+            right_idx = _index_expr(node.right, bindings)
+            if left_const is not None and right_idx is not None:
+                return (right_idx[0], right_idx[1] + left_const)
+        return None
+    return None
+
+
+def parse_axis(node: ast.expr, bindings: Dict[str, IndexBinding]) -> sub.Axis:
+    """Classify one subscript position into the supported grammar.
+
+    Anything that is not a constant, a full/constant slice, or one loop
+    index variable ± a constant is conservatively
+    :data:`~repro.analysis.subscript.SubscriptKind.UNKNOWN` — the paper's
+    rule that complex subscripts may take any value within bounds.
+    """
+    if isinstance(node, ast.Slice):
+        if node.step is not None:
+            return sub.unknown()
+        if node.lower is None and node.upper is None:
+            return sub.slice_all()
+        lo = constant_int(node.lower) if node.lower is not None else None
+        hi = constant_int(node.upper) if node.upper is not None else None
+        if lo is not None and hi is not None:
+            return sub.const_range(lo, hi)
+        return sub.unknown()
+    literal = constant_int(node)
+    if literal is not None:
+        return sub.constant(literal)
+    indexed = _index_expr(node, bindings)
+    if indexed is not None:
+        return sub.index(*indexed)
+    return sub.unknown()

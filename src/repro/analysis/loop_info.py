@@ -1,0 +1,364 @@
+"""Static extraction of loop information from a loop-body function.
+
+This is the first stage of the paper's Fig. 6 pipeline: given the loop body
+and the iteration-space DistArray, recover
+
+* the loop index vector and its per-dimension aliases,
+* every static DistArray reference with its subscript pattern,
+* writes routed to DistArray Buffers (exempt from dependence analysis),
+* accumulator updates,
+* inherited driver-program variables (captured and, on a real cluster,
+  broadcast read-only to workers).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.analysis import ast_utils
+from repro.analysis.depvec import ArrayRef
+from repro.analysis.subscript import Axis, SubscriptKind, index
+from repro.core.accumulator import Accumulator
+from repro.core.buffers import DistArrayBuffer
+from repro.core.distarray import DistArray
+from repro.errors import AnalysisError
+
+__all__ = ["LoopInfo", "analyze_loop_body"]
+
+
+@dataclass
+class LoopInfo:
+    """Everything static analysis learned about one parallel for-loop."""
+
+    iteration_space: DistArray
+    num_iter_dims: int
+    index_param: str
+    value_param: Optional[str]
+    ordered: bool
+    #: Static references per DistArray name (dependence-relevant ones).
+    refs: Dict[str, List[ArrayRef]] = field(default_factory=dict)
+    #: Name -> DistArray for every array referenced in the body.
+    arrays: Dict[str, DistArray] = field(default_factory=dict)
+    #: Name -> DistArrayBuffer for every buffer written in the body.
+    buffers: Dict[str, DistArrayBuffer] = field(default_factory=dict)
+    #: Buffered writes (exempt from dependence analysis), per buffer name.
+    buffer_refs: Dict[str, List[ArrayRef]] = field(default_factory=dict)
+    #: Names of accumulators updated by the body.
+    accumulators: Set[str] = field(default_factory=set)
+    #: Name -> Accumulator object for accumulators updated by the body.
+    accumulator_refs: Dict[str, Accumulator] = field(default_factory=dict)
+    #: Inherited driver variables (name -> current value at analysis time).
+    inherited: Dict[str, Any] = field(default_factory=dict)
+    #: The body's FunctionDef, kept for prefetch-function synthesis.
+    tree: Optional[ast.FunctionDef] = None
+    #: Loop-index aliases discovered in the body (for prefetch synthesis).
+    index_bindings: Dict[str, ast_utils.IndexBinding] = field(default_factory=dict)
+
+    def arrays_with_unknown_subscripts(self) -> Set[str]:
+        """Array names read or written through a data-dependent subscript."""
+        out = set()
+        for name, refs in self.refs.items():
+            for ref in refs:
+                if any(a.kind is SubscriptKind.UNKNOWN for a in ref.axes):
+                    out.add(name)
+        return out
+
+    def written_arrays(self) -> Set[str]:
+        """Array names with at least one non-buffered write."""
+        return {
+            name
+            for name, refs in self.refs.items()
+            if any(ref.is_write for ref in refs)
+        }
+
+    def array_access_dims(self, name: str) -> Dict[int, int]:
+        """Map iteration-space dim -> array dim for single-index subscripts.
+
+        Used by the placement heuristic: if array ``name`` is always indexed
+        on array dimension ``a`` by iteration dimension ``i``, partitioning
+        the iteration space on ``i`` lets the array be range-partitioned on
+        ``a`` and served locally.
+        """
+        mapping: Dict[int, int] = {}
+        for ref in self.refs.get(name, []):
+            for array_dim, axis in enumerate(ref.axes):
+                if axis.kind is SubscriptKind.INDEX:
+                    mapping.setdefault(axis.dim_idx, array_dim)
+        return mapping
+
+    def pinned_array_dim(self, name: str, iter_dim: int) -> Optional[int]:
+        """The array dimension consistently indexed by ``iter_dim``.
+
+        Returns the array dimension ``a`` such that *every* static reference
+        to the array subscripts position ``a`` with ``key[iter_dim] ± c``,
+        or ``None`` when some reference does not (then partitioning the
+        array on ``a`` would not make all of the loop's accesses local).
+        """
+        pinned: Optional[int] = None
+        for ref in self.refs.get(name, []):
+            ref_dim: Optional[int] = None
+            for array_dim, axis in enumerate(ref.axes):
+                if axis.kind is SubscriptKind.INDEX and axis.dim_idx == iter_dim:
+                    ref_dim = array_dim
+                    break
+            if ref_dim is None:
+                return None
+            if pinned is None:
+                pinned = ref_dim
+            elif pinned != ref_dim:
+                return None
+        return pinned
+
+
+class _BodyVisitor(ast.NodeVisitor):
+    """AST walk collecting references, bindings and inherited names."""
+
+    def __init__(
+        self,
+        env: Dict[str, Any],
+        index_param: str,
+        value_param: Optional[str],
+    ) -> None:
+        self.env = env
+        self.index_param = index_param
+        self.value_param = value_param
+        self.bindings: Dict[str, ast_utils.IndexBinding] = {
+            index_param: ast_utils.IndexBinding(dim_idx=None)
+        }
+        self._assign_counts: Dict[str, int] = {}
+        self.array_refs: List[Tuple[str, Tuple[ast.expr, ...], bool]] = []
+        self.buffer_writes: List[Tuple[str, Tuple[ast.expr, ...]]] = []
+        self.accumulators: Set[str] = set()
+        self.loaded_names: Set[str] = set()
+        self.local_names: Set[str] = set()
+        if value_param:
+            self.local_names.add(value_param)
+        self.local_names.add(index_param)
+
+    # -- bindings ------------------------------------------------------- #
+
+    def _record_binding(self, name: str, binding: ast_utils.IndexBinding) -> None:
+        count = self._assign_counts.get(name, 0)
+        self._assign_counts[name] = count + 1
+        if count == 0:
+            self.bindings[name] = binding
+        else:
+            # Reassigned: no longer a reliable loop-index alias.
+            self.bindings.pop(name, None)
+
+    def _invalidate(self, name: str) -> None:
+        self._assign_counts[name] = self._assign_counts.get(name, 0) + 1
+        self.bindings.pop(name, None)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # `i, j = key` gives one binding per position.
+        if (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Tuple)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.bindings
+            and self.bindings[node.value.id].is_whole_key
+        ):
+            for position, element in enumerate(node.targets[0].elts):
+                if isinstance(element, ast.Name):
+                    self._record_binding(
+                        element.id, ast_utils.IndexBinding(dim_idx=position)
+                    )
+                    self.local_names.add(element.id)
+            self.generic_visit(node.value)
+            return
+        # `u = key[0] + 1` style single-name bindings.
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.local_names.add(target.id)
+                indexed = ast_utils._index_expr(node.value, self.bindings)
+                if indexed is not None:
+                    self._record_binding(
+                        target.id,
+                        ast_utils.IndexBinding(dim_idx=indexed[0], const=indexed[1]),
+                    )
+                else:
+                    self._invalidate(target.id)
+            elif isinstance(target, ast.Tuple):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        self.local_names.add(element.id)
+                        self._invalidate(element.id)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self.local_names.add(node.target.id)
+            self._invalidate(node.target.id)
+        # An augmented subscript write reads and writes the element; the
+        # Store-context Subscript is recorded by visit_Subscript, and we add
+        # the implied read here.
+        if isinstance(node.target, ast.Subscript):
+            self._handle_subscript(node.target, is_write=False)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if isinstance(node.target, ast.Name):
+            self.local_names.add(node.target.id)
+            self._invalidate(node.target.id)
+        self.generic_visit(node)
+
+    # -- references ----------------------------------------------------- #
+
+    @staticmethod
+    def _subscript_elements(node: ast.Subscript) -> Tuple[ast.expr, ...]:
+        if isinstance(node.slice, ast.Tuple):
+            return tuple(node.slice.elts)
+        return (node.slice,)
+
+    def _handle_subscript(self, node: ast.Subscript, is_write: bool) -> None:
+        if not isinstance(node.value, ast.Name):
+            return
+        name = node.value.id
+        bound = self.env.get(name)
+        elements = self._subscript_elements(node)
+        if isinstance(bound, DistArray):
+            self.array_refs.append((name, elements, is_write))
+        elif isinstance(bound, DistArrayBuffer) and is_write:
+            self.buffer_writes.append((name, elements))
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        self._handle_subscript(node, is_write=isinstance(node.ctx, ast.Store))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # Accumulator updates: `err.add(value)`.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add"
+            and isinstance(node.func.value, ast.Name)
+            and isinstance(self.env.get(node.func.value.id), Accumulator)
+        ):
+            self.accumulators.add(node.func.value.id)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.loaded_names.add(node.id)
+        self.generic_visit(node)
+
+
+def _axes_for_ref(
+    array: DistArray,
+    name: str,
+    elements: Tuple[ast.expr, ...],
+    bindings: Dict[str, ast_utils.IndexBinding],
+    num_iter_dims: int,
+) -> Tuple[Axis, ...]:
+    """Turn subscript AST elements into per-array-dimension axes."""
+    # Whole-key subscript, e.g. `zs[key]`: one index axis per iteration dim.
+    if len(elements) == 1 and isinstance(elements[0], ast.Name):
+        binding = bindings.get(elements[0].id)
+        if binding is not None and binding.is_whole_key:
+            if array.ndim != num_iter_dims:
+                raise AnalysisError(
+                    f"{name}[<key>] used but array has {array.ndim} dims while "
+                    f"the iteration space has {num_iter_dims}"
+                )
+            return tuple(index(d, 0) for d in range(num_iter_dims))
+    axes = tuple(ast_utils.parse_axis(element, bindings) for element in elements)
+    if len(axes) != array.ndim:
+        raise AnalysisError(
+            f"{name} subscript has {len(axes)} positions but the array has "
+            f"{array.ndim} dimensions"
+        )
+    return axes
+
+
+def analyze_loop_body(
+    body: Callable[..., Any],
+    iteration_space: DistArray,
+    ordered: bool = False,
+) -> LoopInfo:
+    """Statically analyze a loop-body function (paper Fig. 6, stage 1).
+
+    Args:
+        body: a plain function ``body(key, value)`` (value optional) whose
+            free variables may include DistArrays, DistArrayBuffers,
+            Accumulators and ordinary driver variables.
+        iteration_space: the materialized DistArray being iterated.
+        ordered: whether the application requires lexicographic iteration
+            order (the paper's ``ordered`` argument; default relaxed).
+    """
+    if not iteration_space.is_materialized:
+        raise AnalysisError(
+            "the iteration-space DistArray must be materialized before a "
+            "parallel for-loop over it is compiled (JIT-style, paper Sec. 4.1)"
+        )
+    tree = ast_utils.get_function_def(body)
+    params = [arg.arg for arg in tree.args.args]
+    if not params:
+        raise AnalysisError("loop body must take (key, value) or (key,)")
+    index_param = params[0]
+    value_param = params[1] if len(params) > 1 else None
+    env = ast_utils.resolve_free_variables(body)
+
+    visitor = _BodyVisitor(env, index_param, value_param)
+    visitor.visit(tree)
+
+    num_iter_dims = iteration_space.ndim
+    info = LoopInfo(
+        iteration_space=iteration_space,
+        num_iter_dims=num_iter_dims,
+        index_param=index_param,
+        value_param=value_param,
+        ordered=ordered,
+        tree=tree,
+        index_bindings=dict(visitor.bindings),
+    )
+    info.accumulators = set(visitor.accumulators)
+    info.accumulator_refs = {
+        name: env[name] for name in visitor.accumulators if name in env
+    }
+
+    for name, elements, is_write in visitor.array_refs:
+        array = env[name]
+        axes = _axes_for_ref(array, name, elements, visitor.bindings, num_iter_dims)
+        info.arrays[name] = array
+        info.refs.setdefault(name, []).append(
+            ArrayRef(array_name=name, axes=axes, is_write=is_write)
+        )
+    for name, elements in visitor.buffer_writes:
+        buffer = env[name]
+        info.buffers[name] = buffer
+        target_ndim = buffer.target.ndim
+        axes = tuple(
+            ast_utils.parse_axis(element, visitor.bindings) for element in elements
+        )
+        if len(axes) != target_ndim:
+            raise AnalysisError(
+                f"buffer {name} subscript arity {len(axes)} does not match "
+                f"target array dimensionality {target_ndim}"
+            )
+        info.buffer_refs.setdefault(name, []).append(
+            ArrayRef(array_name=name, axes=axes, is_write=True, buffered=True)
+        )
+
+    # Inherited driver variables: loaded free names that resolve in the
+    # environment and are not arrays/buffers/accumulators or locals.
+    special = set(info.arrays) | set(info.buffers) | info.accumulators
+    for name in sorted(visitor.loaded_names):
+        if name in visitor.local_names or name in special:
+            continue
+        if name not in env:
+            continue  # builtins and genuinely unresolved names
+        value = env[name]
+        if isinstance(value, (DistArray, DistArrayBuffer, Accumulator)):
+            # Reachable but only via non-subscript use (e.g. accumulator obj).
+            continue
+        if inspect.ismodule(value):
+            continue  # imported modules (np, math) are code, not data
+        if callable(value) and getattr(value, "__module__", "").startswith(
+            ("numpy", "math", "builtins")
+        ):
+            continue  # library helpers are not data to broadcast
+        info.inherited[name] = value
+    return info

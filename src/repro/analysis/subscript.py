@@ -1,0 +1,151 @@
+"""Subscript representation for static dependence analysis.
+
+The paper (Sec. 4.2) represents each DistArray subscript position as a
+3-tuple ``(dim_idx, const, stype)``: the loop-index variable's dimension in
+the iteration space, an additive constant, and the subscript's type.  This
+module provides that representation plus the pairwise tests Alg. 2 needs:
+
+* can two subscript positions *ever* refer to the same array coordinate, and
+* if both are single loop-index expressions on the same iteration-space
+  dimension, what is the dependence distance between them.
+
+Supported subscript forms (anything else is :data:`SubscriptKind.UNKNOWN`,
+which is treated conservatively as "may take any value within bounds"):
+
+* a constant integer, e.g. ``A[3, ...]``
+* one loop-index variable plus/minus a constant, e.g. ``A[key[0] + 1, ...]``
+* a full slice ``A[:, ...]``
+* a constant range ``A[1:4, ...]``
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "SubscriptKind",
+    "Axis",
+    "constant",
+    "index",
+    "slice_all",
+    "const_range",
+    "unknown",
+    "axes_may_overlap",
+    "index_distance",
+]
+
+
+class SubscriptKind(enum.Enum):
+    """Classification of a single subscript position."""
+
+    CONSTANT = "constant"
+    INDEX = "index"
+    SLICE_ALL = "slice_all"
+    RANGE = "range"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One position of a DistArray subscript.
+
+    Attributes:
+        kind: which of the supported subscript forms this position is.
+        dim_idx: for :data:`SubscriptKind.INDEX`, the iteration-space
+            dimension of the loop-index variable appearing here.
+        const: for ``INDEX`` the additive constant; for ``CONSTANT`` the
+            literal value.
+        lo, hi: for ``RANGE``, the half-open constant bounds ``[lo, hi)``.
+    """
+
+    kind: SubscriptKind
+    dim_idx: Optional[int] = None
+    const: int = 0
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+
+    def is_single_index(self) -> bool:
+        """True when this position is one loop-index variable ± a constant."""
+        return self.kind is SubscriptKind.INDEX
+
+    def describe(self) -> str:
+        """Human-readable rendering used in diagnostics and the demo output."""
+        if self.kind is SubscriptKind.CONSTANT:
+            return str(self.const)
+        if self.kind is SubscriptKind.INDEX:
+            if self.const == 0:
+                return f"key[{self.dim_idx}]"
+            sign = "+" if self.const > 0 else "-"
+            return f"key[{self.dim_idx}] {sign} {abs(self.const)}"
+        if self.kind is SubscriptKind.SLICE_ALL:
+            return ":"
+        if self.kind is SubscriptKind.RANGE:
+            return f"{self.lo}:{self.hi}"
+        return "?"
+
+
+def constant(value: int) -> Axis:
+    """Build a constant subscript position, e.g. the ``3`` in ``A[3, j]``."""
+    return Axis(kind=SubscriptKind.CONSTANT, const=int(value))
+
+
+def index(dim_idx: int, const: int = 0) -> Axis:
+    """Build a loop-index position, e.g. ``key[dim_idx] + const``."""
+    return Axis(kind=SubscriptKind.INDEX, dim_idx=int(dim_idx), const=int(const))
+
+
+def slice_all() -> Axis:
+    """Build a full-slice position, the ``:`` in ``A[:, j]``."""
+    return Axis(kind=SubscriptKind.SLICE_ALL)
+
+
+def const_range(lo: int, hi: int) -> Axis:
+    """Build a constant-range position ``lo:hi`` (half open)."""
+    return Axis(kind=SubscriptKind.RANGE, lo=int(lo), hi=int(hi))
+
+
+def unknown() -> Axis:
+    """Build an unsupported/data-dependent position (conservatively any value)."""
+    return Axis(kind=SubscriptKind.UNKNOWN)
+
+
+def axes_may_overlap(a: Axis, b: Axis) -> bool:
+    """Return whether two subscript positions can ever address the same
+    coordinate of the array dimension they index.
+
+    This implements the "prove independence" half of the dependence test:
+    if two positions can *never* match, the pair of references is
+    independent regardless of the other positions.  Only purely constant
+    forms can be proven disjoint; anything involving a loop index or an
+    unknown value may match for some pair of iterations.
+    """
+    ka, kb = a.kind, b.kind
+    if ka is SubscriptKind.CONSTANT and kb is SubscriptKind.CONSTANT:
+        return a.const == b.const
+    if ka is SubscriptKind.CONSTANT and kb is SubscriptKind.RANGE:
+        return b.lo <= a.const < b.hi
+    if ka is SubscriptKind.RANGE and kb is SubscriptKind.CONSTANT:
+        return a.lo <= b.const < a.hi
+    if ka is SubscriptKind.RANGE and kb is SubscriptKind.RANGE:
+        return a.lo < b.hi and b.lo < a.hi
+    # Any form involving a loop index, a full slice, or an unknown value may
+    # coincide with anything for some iteration pair.
+    return True
+
+
+def index_distance(a: Axis, b: Axis) -> Optional[Tuple[int, int]]:
+    """If both positions are single loop-index expressions over the *same*
+    iteration-space dimension, return ``(dim_idx, distance)`` where
+    ``distance = a.const - b.const`` is the iteration-space offset at which
+    the two positions address the same coordinate.
+
+    Returns ``None`` when the pair does not constrain any iteration-space
+    dimension (different dimensions, or non-index forms).
+    """
+    if not (a.is_single_index() and b.is_single_index()):
+        return None
+    if a.dim_idx != b.dim_idx:
+        return None
+    return (a.dim_idx, a.const - b.const)

@@ -1,0 +1,163 @@
+"""Unimodular iteration-space transformations (paper Sec. 4.3, ref. [46]).
+
+When neither 1D nor 2D parallelization applies directly, Orion searches for
+a unimodular transformation ``T`` (integer matrix, ``|det T| = 1``) such
+that every transformed dependence vector is carried by the *outermost*
+loop: ``(T d)[0] > 0`` for all ``d``.  Then iterations of the inner loop
+nest within one outer index are independent, giving a 2D parallelization of
+the transformed space (outer = time dimension, an inner = space dimension).
+
+The search composes the classic elementary transformations — loop
+interchange, loop reversal, and loop skewing — breadth first up to a small
+depth, which covers the standard wavefront cases (e.g. dependence set
+``{(1,0), (0,1)}`` is solved by the skew ``[[1,1],[0,1]]``).
+
+Per the paper, the transformation applies only when the dependence vectors
+contain exact numbers or ``+∞`` (:data:`~repro.analysis.depvec.POS`) —
+``ANY``-valued distances cannot be carried by a single outer loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.depvec import ANY, NEG, DepVector, entry_is_positive
+
+__all__ = [
+    "Matrix",
+    "identity",
+    "interchange",
+    "reversal",
+    "skew",
+    "is_unimodular",
+    "invert_unimodular",
+    "eligible_for_transformation",
+    "find_transformation",
+]
+
+Matrix = Tuple[Tuple[int, ...], ...]
+
+
+def identity(n: int) -> Matrix:
+    """The n×n identity transformation."""
+    return tuple(
+        tuple(1 if r == c else 0 for c in range(n)) for r in range(n)
+    )
+
+
+def _from_numpy(array: np.ndarray) -> Matrix:
+    return tuple(tuple(int(v) for v in row) for row in array)
+
+
+def interchange(n: int, i: int, j: int) -> Matrix:
+    """Elementary matrix swapping loop levels ``i`` and ``j``."""
+    mat = np.eye(n, dtype=np.int64)
+    mat[[i, j]] = mat[[j, i]]
+    return _from_numpy(mat)
+
+
+def reversal(n: int, i: int) -> Matrix:
+    """Elementary matrix reversing loop level ``i``."""
+    mat = np.eye(n, dtype=np.int64)
+    mat[i, i] = -1
+    return _from_numpy(mat)
+
+
+def skew(n: int, i: int, j: int, factor: int) -> Matrix:
+    """Elementary matrix skewing level ``i`` by ``factor`` × level ``j``."""
+    mat = np.eye(n, dtype=np.int64)
+    mat[i, j] = factor
+    return _from_numpy(mat)
+
+
+def _matmul(a: Matrix, b: Matrix) -> Matrix:
+    return _from_numpy(np.array(a, dtype=np.int64) @ np.array(b, dtype=np.int64))
+
+
+def is_unimodular(matrix: Matrix) -> bool:
+    """Whether ``matrix`` is integer with determinant ±1."""
+    det = round(float(np.linalg.det(np.array(matrix, dtype=np.float64))))
+    return det in (1, -1)
+
+
+def invert_unimodular(matrix: Matrix) -> Matrix:
+    """Exact integer inverse of a unimodular matrix."""
+    array = np.array(matrix, dtype=np.float64)
+    inverse = np.linalg.inv(array)
+    return _from_numpy(np.rint(inverse))
+
+
+def eligible_for_transformation(dvecs: Iterable[DepVector]) -> bool:
+    """Paper's precondition: entries are exact numbers or ``+∞`` only."""
+    for vector in dvecs:
+        for entry in vector:
+            if entry is ANY or entry is NEG:
+                return False
+    return True
+
+
+def _carried_by_outermost(dvecs: Sequence[DepVector], matrix: Matrix) -> bool:
+    return all(
+        entry_is_positive(vector.transform(matrix)[0]) for vector in dvecs
+    )
+
+
+def _generators(n: int, skew_factors: Sequence[int]) -> List[Matrix]:
+    out: List[Matrix] = []
+    for i, j in itertools.permutations(range(n), 2):
+        out.append(interchange(n, i, j))
+        for factor in skew_factors:
+            out.append(skew(n, i, j, factor))
+    for i in range(n):
+        out.append(reversal(n, i))
+    return out
+
+
+def find_transformation(
+    dvecs: Sequence[DepVector],
+    num_dims: int,
+    max_depth: int = 3,
+    skew_factors: Sequence[int] = (1, -1, 2, -2),
+) -> Optional[Matrix]:
+    """Search for a unimodular ``T`` carrying every dependence on level 0.
+
+    Breadth-first over products of elementary transformations, bounded by
+    ``max_depth`` factors.  Returns the first (shallowest) matrix found, or
+    ``None`` when the search space is exhausted or the dependence set is
+    ineligible.
+    """
+    vectors = list(dvecs)
+    if not vectors or num_dims < 2:
+        return None
+    if not eligible_for_transformation(vectors):
+        return None
+    start = identity(num_dims)
+    if _carried_by_outermost(vectors, start):
+        return start
+    generators = _generators(num_dims, skew_factors)
+    frontier: List[Matrix] = [start]
+    seen = {start}
+    for _depth in range(max_depth):
+        next_frontier: List[Matrix] = []
+        for current in frontier:
+            for generator in generators:
+                candidate = _matmul(generator, current)
+                if candidate in seen:
+                    continue
+                seen.add(candidate)
+                if _carried_by_outermost(vectors, candidate):
+                    return candidate
+                next_frontier.append(candidate)
+        frontier = next_frontier
+    return None
+
+
+def transform_point(matrix: Matrix, point: Sequence[int]) -> Tuple[int, ...]:
+    """Apply a transformation matrix to a concrete iteration index."""
+    return tuple(
+        sum(coefficient * coordinate for coefficient, coordinate in zip(row, point))
+        for row in matrix
+    )

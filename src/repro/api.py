@@ -1,0 +1,275 @@
+"""The Orion driver API (paper Sec. 3, Fig. 5).
+
+An application creates an :class:`OrionContext` — the driver's handle on
+the distributed runtime — builds DistArrays lazily, materializes them, and
+parallelizes loops with :meth:`OrionContext.parallel_for`:
+
+.. code-block:: python
+
+    ctx = OrionContext(cluster=ClusterSpec.paper_default())
+    ratings = ctx.text_file(path, parse_line)
+    ctx.materialize(ratings)
+    W = ctx.randn(K, num_rows)
+    H = ctx.randn(K, num_cols)
+    ctx.materialize(W, H)
+    err = ctx.accumulator("err", 0.0)
+
+    def body(key, rating):
+        w = W[:, key[0]]
+        h = H[:, key[1]]
+        ...
+        W[:, key[0]] = w - step_size * gw
+        H[:, key[1]] = h - step_size * gh
+
+    loop = ctx.parallel_for(ratings)(body)     # JIT-style static analysis
+    for _ in range(num_iterations):
+        loop.run()
+    total = ctx.get_aggregated_value("err")
+
+The decorator form mirrors the paper's ``@parallel_for`` macro: applying it
+triggers static dependence analysis, strategy selection and schedule
+construction exactly once; each ``run()`` executes one pass.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from repro.analysis.loop_info import LoopInfo, analyze_loop_body
+from repro.analysis.strategy import Plan, choose_plan
+from repro.core.accumulator import Accumulator, AccumulatorRegistry
+from repro.core.buffers import DistArrayBuffer, default_apply
+from repro.core.distarray import DistArray, parse_dense_line
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.executor import EpochResult, OrionExecutor
+from repro.runtime.network import TrafficLog
+
+__all__ = ["OrionContext", "ParallelLoop"]
+
+
+class ParallelLoop:
+    """A compiled parallel for-loop: analysis, plan and executor in one.
+
+    Created by :meth:`OrionContext.parallel_for`.  The static analysis and
+    schedule construction happen at creation (the paper's macro-expansion /
+    JIT step); :meth:`run` executes data passes.
+    """
+
+    def __init__(
+        self,
+        ctx: "OrionContext",
+        body: Callable[..., Any],
+        info: LoopInfo,
+        plan: Plan,
+        executor: OrionExecutor,
+    ) -> None:
+        self.ctx = ctx
+        self.body = body
+        self.info = info
+        self.plan = plan
+        self.executor = executor
+
+    def run(self, epochs: int = 1) -> List[EpochResult]:
+        """Execute ``epochs`` full passes, advancing the context clock and
+        recording traffic on the context's log."""
+        results = []
+        for _ in range(epochs):
+            result = self.executor.run_epoch()
+            self.ctx._absorb(result)
+            results.append(result)
+        return results
+
+    def explain(self) -> str:
+        """A Fig. 6-style report of what static parallelization decided."""
+        from repro.analysis.explain import explain_plan
+
+        return explain_plan(self.info, self.plan)
+
+    def __call__(self, epochs: int = 1) -> List[EpochResult]:
+        return self.run(epochs)
+
+
+class OrionContext:
+    """Driver-side handle on the (simulated) Orion runtime.
+
+    Args:
+        cluster: the simulated cluster; defaults to a small 1×4 cluster so
+            examples run instantly (the paper's figures use
+            ``ClusterSpec.paper_default()``).
+        seed: base seed for random array initialization.
+    """
+
+    def __init__(
+        self,
+        cluster: Optional[ClusterSpec] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.cluster = cluster or ClusterSpec(num_machines=1, workers_per_machine=4)
+        self.seed = seed
+        self.accumulators = AccumulatorRegistry()
+        self.traffic = TrafficLog()
+        #: Cumulative virtual seconds spent in parallel loops.
+        self.now = 0.0
+        self._arrays: List[DistArray] = []
+        self._seed_counter = 0
+
+    # ---------------- array creation ----------------------------------- #
+
+    def _next_seed(self) -> Optional[int]:
+        if self.seed is None:
+            return None
+        self._seed_counter += 1
+        return self.seed + self._seed_counter
+
+    def _register(self, array: DistArray) -> DistArray:
+        self._arrays.append(array)
+        return array
+
+    def text_file(
+        self,
+        path: str,
+        parser: Callable[[str], Tuple[Tuple[int, ...], Any]] = parse_dense_line,
+        name: Optional[str] = None,
+        shape: Optional[Tuple[int, ...]] = None,
+    ) -> DistArray:
+        """Lazily load a sparse DistArray from a text file (paper Fig. 5)."""
+        return self._register(DistArray.text_file(path, parser, name, shape))
+
+    def from_entries(
+        self,
+        entries: Iterable[Tuple[Tuple[int, ...], Any]],
+        name: Optional[str] = None,
+        shape: Optional[Tuple[int, ...]] = None,
+    ) -> DistArray:
+        """Lazily create a sparse DistArray from ``(key, value)`` pairs."""
+        return self._register(DistArray.from_entries(entries, name, shape))
+
+    def randn(
+        self, *shape: int, name: Optional[str] = None, scale: float = 1.0
+    ) -> DistArray:
+        """Lazily create a dense normal-initialized DistArray."""
+        return self._register(
+            DistArray.randn(*shape, name=name, seed=self._next_seed(), scale=scale)
+        )
+
+    def rand(self, *shape: int, name: Optional[str] = None) -> DistArray:
+        """Lazily create a dense uniform-initialized DistArray."""
+        return self._register(
+            DistArray.rand(*shape, name=name, seed=self._next_seed())
+        )
+
+    def zeros(self, *shape: int, name: Optional[str] = None) -> DistArray:
+        """Lazily create a dense zero DistArray."""
+        return self._register(DistArray.zeros(*shape, name=name))
+
+    def full(
+        self, shape: Tuple[int, ...], value: float, name: Optional[str] = None
+    ) -> DistArray:
+        """Lazily create a dense constant DistArray."""
+        return self._register(DistArray.full(shape, value, name=name))
+
+    @staticmethod
+    def materialize(*arrays: DistArray) -> None:
+        """Force evaluation of lazy arrays (paper's ``Orion.materialize``)."""
+        for array in arrays:
+            array.materialize()
+
+    # ---------------- accumulators & buffers --------------------------- #
+
+    def accumulator(
+        self,
+        name: str,
+        initial: Any = 0.0,
+        op: Callable[[Any, Any], Any] = operator.add,
+    ) -> Accumulator:
+        """Create a named accumulator (paper's ``@accumulator``)."""
+        return self.accumulators.create(name, initial, op)
+
+    def get_aggregated_value(
+        self, name: str, op: Optional[Callable[[Any, Any], Any]] = None
+    ) -> Any:
+        """Aggregate one accumulator across all workers."""
+        return self.accumulators.aggregate(name, op)
+
+    def reset_accumulator(self, name: str) -> None:
+        """Reset one accumulator on every worker."""
+        self.accumulators.reset(name)
+
+    def dist_array_buffer(
+        self,
+        target: DistArray,
+        apply_fn: Callable[[Any, Any], Any] = default_apply,
+        combiner: Optional[Callable[[Any, Any], Any]] = None,
+        max_delay: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> DistArrayBuffer:
+        """Create a write-back buffer for ``target`` (paper Sec. 3.3)."""
+        kwargs = {"apply_fn": apply_fn, "max_delay": max_delay, "name": name}
+        if combiner is not None:
+            kwargs["combiner"] = combiner
+        return DistArrayBuffer(target, **kwargs)
+
+    # ---------------- parallel for-loops ------------------------------- #
+
+    def parallel_for(
+        self,
+        iteration_space: DistArray,
+        ordered: bool = False,
+        force_dims: Optional[Tuple[int, ...]] = None,
+        pipeline_depth: int = 2,
+        balance: bool = True,
+        validate: bool = False,
+        prefetch: str = "auto",
+        cache_prefetch: bool = False,
+        concurrency: str = "serial",
+    ) -> Callable[[Callable[..., Any]], ParallelLoop]:
+        """Parallelize a loop body over ``iteration_space``.
+
+        Returns a decorator; applying it performs static dependence
+        analysis, chooses the parallelization strategy, partitions the
+        iteration space and builds the schedule — once.  The decorated name
+        becomes a :class:`ParallelLoop`.
+
+        Args:
+            iteration_space: materialized DistArray to iterate over.
+            ordered: enforce lexicographic iteration order (paper's
+                ``ordered`` argument; default relaxed).
+            force_dims: override the partitioning-dimension heuristic.
+            pipeline_depth: time partitions per worker for unordered 2D.
+            balance: histogram-balanced partitioning of skewed data.
+            validate: run the serializability validator every epoch (tests).
+            prefetch: ``"auto"`` or ``"none"`` (bulk prefetch of
+                server-array reads).
+            cache_prefetch: cache prefetch indices across epochs.
+            concurrency: ``"serial"`` (deterministic linearization) or
+                ``"threads"`` (same-step blocks run on a thread pool).
+        """
+
+        def decorate(body: Callable[..., Any]) -> ParallelLoop:
+            info = analyze_loop_body(body, iteration_space, ordered=ordered)
+            plan = choose_plan(info, force_dims=force_dims)
+            executor = OrionExecutor(
+                body,
+                info,
+                plan,
+                self.cluster,
+                pipeline_depth=pipeline_depth,
+                balance=balance,
+                validate=validate,
+                prefetch=prefetch,
+                cache_prefetch=cache_prefetch,
+                concurrency=concurrency,
+            )
+            return ParallelLoop(self, body, info, plan, executor)
+
+        return decorate
+
+    # ---------------- bookkeeping -------------------------------------- #
+
+    def _absorb(self, result: EpochResult) -> None:
+        for t_start, t_end, nbytes, kind in result.events:
+            self.traffic.record(
+                self.now + t_start, self.now + t_end, nbytes, kind
+            )
+        self.now += result.epoch_time_s

@@ -1,0 +1,43 @@
+"""The paper's ML applications (Table 2), in Orion and numpy forms."""
+
+from repro.apps.base import OrionProgram, SerialApp
+from repro.apps.embeddings import CooccurrenceDataset, GloVeApp, GloVeHyper
+from repro.apps.embeddings import build_orion_program as build_glove
+from repro.apps.embeddings import cooccurrence_corpus
+from repro.apps.gbt import GBTHyper
+from repro.apps.gbt import build_orion_program as build_gbt
+from repro.apps.lda import LDAApp, LDAHyper
+from repro.apps.lda import build_orion_program as build_lda
+from repro.apps.mlp import MLPApp, MLPHyper
+from repro.apps.mlp import build_orion_program as build_mlp
+from repro.apps.optimizers import AdaGrad, AdaRevision
+from repro.apps.sgd_mf import MFHyper, SGDMFApp
+from repro.apps.sgd_mf import build_orion_program as build_sgd_mf
+from repro.apps.slr import SLRApp, SLRHyper
+from repro.apps.slr import build_orion_program as build_slr
+
+__all__ = [
+    "OrionProgram",
+    "SerialApp",
+    "CooccurrenceDataset",
+    "GloVeApp",
+    "GloVeHyper",
+    "build_glove",
+    "cooccurrence_corpus",
+    "GBTHyper",
+    "build_gbt",
+    "LDAApp",
+    "LDAHyper",
+    "build_lda",
+    "MLPApp",
+    "MLPHyper",
+    "build_mlp",
+    "AdaGrad",
+    "AdaRevision",
+    "MFHyper",
+    "SGDMFApp",
+    "build_sgd_mf",
+    "SLRApp",
+    "SLRHyper",
+    "build_slr",
+]

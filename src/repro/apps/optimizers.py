@@ -1,0 +1,86 @@
+"""Adaptive gradient optimizers (paper Sec. 3.3 refs [15, 34, 44]).
+
+The paper's applications use SGD, AdaGrad [15] and Adaptive Revision [34]
+(McMahan & Streeter's delay-tolerant AdaGrad).  Orion's DistArray Buffer
+UDF — an atomic element-wise read-modify-write — is exactly the hook these
+optimizers need; the serializable (dependence-preserving) execution path
+applies them directly in the loop body.
+
+Adaptive Revision, briefly: a worker computes gradient ``g`` against
+parameter values that may be stale.  Let ``g_bck`` be the sum of updates
+applied to the parameter between when the worker read it and when its
+update arrives.  AdaRevision keeps ``z`` (sum of applied gradients) so
+``g_bck = z_now - z_read``, scales the learning rate by the accumulated
+squared gradients *corrected* with ``2·g·g_bck``, and revises the step.
+Under serializable execution ``g_bck = 0`` and AdaRevision reduces to
+AdaGrad — which is exactly why dependence-preserving parallelization keeps
+its convergence identical to serial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["AdaGrad", "AdaRevision", "sgd_step"]
+
+
+def sgd_step(param: np.ndarray, grad: np.ndarray, step_size: float) -> np.ndarray:
+    """Plain SGD: ``param - step_size * grad`` (returned, not in place)."""
+    return param - step_size * grad
+
+
+@dataclass
+class AdaGrad:
+    """Per-coordinate AdaGrad over vector slices.
+
+    The caller owns the accumulator array (one per parameter tensor) and
+    passes the relevant slice; :meth:`step` updates it in place and returns
+    the parameter delta.
+    """
+
+    step_size: float = 0.1
+    epsilon: float = 1e-8
+
+    def step(self, accumulator: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """Update the squared-gradient accumulator, return the update."""
+        accumulator += grad * grad
+        return -self.step_size * grad / np.sqrt(accumulator + self.epsilon)
+
+
+@dataclass
+class AdaRevision:
+    """Adaptive Revision (McMahan & Streeter, NIPS 2014), vectorized.
+
+    State per parameter tensor (caller-owned arrays):
+
+    * ``z``  — sum of all gradients applied so far,
+    * ``z2`` — the adapted squared-gradient accumulator.
+
+    :meth:`step` takes the fresh gradient plus the value of ``z`` at the
+    time the gradient's input parameters were read (``z_read``) and applies
+    the delay correction.  With ``z_read == z`` (no staleness) the update
+    is plain AdaGrad.
+    """
+
+    step_size: float = 0.1
+    epsilon: float = 1e-8
+
+    def step(
+        self,
+        z: np.ndarray,
+        z2: np.ndarray,
+        grad: np.ndarray,
+        z_read: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Apply one AdaRevision update in place; return the param delta."""
+        if z_read is None:
+            g_bck = 0.0
+        else:
+            g_bck = z - z_read
+        correction = 2.0 * grad * g_bck
+        z2 += np.maximum(grad * grad + correction, 0.0)
+        z += grad
+        return -self.step_size * grad / np.sqrt(z2 + self.epsilon)

@@ -1,0 +1,26 @@
+"""Baseline training engines the paper compares against.
+
+All engines execute the *real* numerical updates of a
+:class:`repro.apps.base.SerialApp` (or reuse the Orion executor, for
+STRADS) with their own staleness, scheduling and communication semantics,
+charging virtual time from the shared cost models — so convergence and
+throughput comparisons isolate the parallelization strategy.
+"""
+
+from repro.baselines.bosen import run_bosen, shard_entries
+from repro.baselines.managed_comm import run_managed_comm
+from repro.baselines.serial import run_serial
+from repro.baselines.strads import run_strads, strads_cluster
+from repro.baselines.tensorflow_like import run_tensorflow_minibatch
+from repro.baselines.tux2_like import run_tux2_minibatch
+
+__all__ = [
+    "run_bosen",
+    "shard_entries",
+    "run_managed_comm",
+    "run_serial",
+    "run_strads",
+    "strads_cluster",
+    "run_tensorflow_minibatch",
+    "run_tux2_minibatch",
+]

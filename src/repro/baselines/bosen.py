@@ -1,0 +1,108 @@
+"""Bösen-style data parallelism (paper Sec. 5/6; ref. [45]).
+
+Bösen is a parameter server: the training set is randomly sharded across
+workers, every worker processes its shard against a locally cached copy of
+the model, and workers synchronize with the servers after processing the
+entire local partition (once per data pass, in the paper's configuration).
+Concurrent workers therefore compute against parameter values that are one
+synchronization period stale — the conflicting accesses whose convergence
+penalty motivates dependence-aware parallelization.
+
+The engine executes that semantics literally: per sync period each worker
+updates its own replica in place (its *own* updates are visible to it, as
+in Bösen's client cache), and replica deltas are summed into the master at
+the barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.apps.base import Entry, SerialApp
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.history import RunHistory
+
+__all__ = ["run_bosen", "shard_entries"]
+
+
+def shard_entries(
+    entries: List[Entry], num_workers: int, seed: int
+) -> List[List[Entry]]:
+    """Random (data-parallel) sharding of the training set across workers."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(entries))
+    shards: List[List[Entry]] = [[] for _ in range(num_workers)]
+    for position, entry_index in enumerate(order):
+        shards[position % num_workers].append(entries[int(entry_index)])
+    return shards
+
+
+def _merge_deltas(
+    master: Dict[str, np.ndarray],
+    base: Dict[str, np.ndarray],
+    replicas: List[Dict[str, np.ndarray]],
+) -> None:
+    """Additive aggregation: master = base + Σ_k (replica_k - base)."""
+    for name in master:
+        delta = np.zeros_like(master[name])
+        for replica in replicas:
+            delta += replica[name] - base[name]
+        master[name] = base[name] + delta
+
+
+def run_bosen(
+    app: SerialApp,
+    cluster: ClusterSpec,
+    epochs: int,
+    seed: int = 0,
+    syncs_per_epoch: int = 1,
+    label: Optional[str] = None,
+) -> RunHistory:
+    """Train ``app`` with Bösen data parallelism on ``cluster``.
+
+    Args:
+        syncs_per_epoch: synchronization barriers per data pass (Bösen's
+            default configuration in the paper synchronizes after the whole
+            local partition, i.e. 1).
+    """
+    workers = cluster.num_workers
+    state = app.init_state(seed)
+    shards = shard_entries(list(app.entries()), workers, seed)
+    # The cost model is app-calibrated (e.g. mf_cost_model); engines use it
+    # as-is so all engines charge identical per-entry compute.
+    entry_cost = cluster.cost.entry_cost_s * cluster.cost.overhead_factor
+    model_nbytes = app.model_nbytes(state)
+    history = RunHistory(label=label or f"Bosen {app.name}")
+    history.meta["initial_loss"] = app.loss(state)
+    clock = 0.0
+
+    for _epoch in range(epochs):
+        epoch_bytes = 0.0
+        epoch_start = clock
+        for sync in range(syncs_per_epoch):
+            base = app.clone_state(state)
+            replicas = []
+            slowest = 0.0
+            for worker in range(workers):
+                shard = shards[worker]
+                lo = len(shard) * sync // syncs_per_epoch
+                hi = len(shard) * (sync + 1) // syncs_per_epoch
+                replica = app.clone_state(base)
+                for key, value in shard[lo:hi]:
+                    app.apply_entry(replica, key, value)
+                replicas.append(replica)
+                slowest = max(slowest, (hi - lo) * entry_cost)
+            _merge_deltas(state, base, replicas)
+            # Per machine: push aggregated deltas, pull fresh values.
+            per_machine_bytes = 2.0 * model_nbytes
+            sync_bytes = per_machine_bytes * cluster.num_machines
+            transfer = cluster.network.transfer_time(per_machine_bytes)
+            clock += slowest
+            history.traffic.record(clock, clock + transfer, sync_bytes, "sync")
+            clock += transfer + cluster.cost.sync_overhead_s
+            epoch_bytes += sync_bytes
+        history.append(app.loss(state), clock - epoch_start, epoch_bytes)
+    history.meta["state"] = state
+    return history

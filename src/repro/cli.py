@@ -1,0 +1,259 @@
+"""Command-line experiment runner.
+
+Run any application under any engine and print the per-pass history::
+
+    python -m repro.cli mf     --engine orion --epochs 5
+    python -m repro.cli lda    --engine bosen --epochs 3 --machines 4
+    python -m repro.cli slr    --engine serial --epochs 4
+    python -m repro.cli mf     --engine all --epochs 5      # comparison table
+
+Engines: ``serial``, ``orion``, ``orion-ordered``, ``bosen``, ``cm``
+(managed communication), ``strads``, ``tf`` (mini-batch), ``tux2``
+(MF only), or ``all``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.apps import (
+    LDAApp,
+    LDAHyper,
+    MFHyper,
+    SGDMFApp,
+    SLRApp,
+    SLRHyper,
+    build_gbt,
+    build_lda,
+    build_sgd_mf,
+    build_slr,
+)
+from repro.apps.lda import lda_cost_model
+from repro.apps.sgd_mf import mf_cost_model
+from repro.apps.slr import slr_cost_model
+from repro.baselines import (
+    run_bosen,
+    run_managed_comm,
+    run_serial,
+    run_strads,
+    run_tensorflow_minibatch,
+    run_tux2_minibatch,
+)
+from repro.data import (
+    lda_corpus,
+    netflix_like,
+    regression_table,
+    sparse_classification,
+)
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.history import RunHistory
+
+__all__ = ["main", "build_parser"]
+
+ENGINES = ["serial", "orion", "orion-ordered", "bosen", "cm", "strads", "tf", "tux2"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run an Orion-reproduction training experiment.",
+    )
+    parser.add_argument(
+        "app", choices=["mf", "mf-adarev", "lda", "lda-1d", "slr", "gbt"],
+        help="application to train",
+    )
+    parser.add_argument(
+        "--engine", default="orion", choices=ENGINES + ["all"],
+        help="training engine (or 'all' for a comparison table)",
+    )
+    parser.add_argument("--epochs", type=int, default=5)
+    parser.add_argument("--machines", type=int, default=4)
+    parser.add_argument("--workers-per-machine", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset size multiplier (1.0 = the small demo default)",
+    )
+    parser.add_argument(
+        "--plot", action="store_true",
+        help="render ASCII loss curves alongside the tables",
+    )
+    return parser
+
+
+def _dataset_and_builders(args):
+    """Per-app dataset, cost model, Orion builder and numpy app."""
+    s = args.scale
+    if args.app in ("mf", "mf-adarev"):
+        dataset = netflix_like(
+            num_rows=int(150 * s),
+            num_cols=int(120 * s),
+            num_ratings=int(8000 * s),
+            seed=args.seed,
+        )
+        hyper = MFHyper(
+            rank=8, step_size=0.04, adarev=(args.app == "mf-adarev"),
+            adarev_step=0.15,
+        )
+        cost = mf_cost_model(hyper)
+        return (
+            dataset,
+            cost,
+            lambda cluster, **kw: build_sgd_mf(
+                dataset, cluster=cluster, hyper=hyper, **kw
+            ),
+            SGDMFApp(dataset, hyper),
+        )
+    if args.app in ("lda", "lda-1d"):
+        dataset = lda_corpus(
+            num_docs=int(200 * s),
+            vocab_size=int(300 * s),
+            num_topics=8,
+            doc_length=30,
+            seed=args.seed,
+        )
+        hyper = LDAHyper(num_topics=8)
+        cost = lda_cost_model(hyper)
+        parallelism = "1d" if args.app == "lda-1d" else "2d"
+        return (
+            dataset,
+            cost,
+            lambda cluster, **kw: build_lda(
+                dataset, cluster=cluster, hyper=hyper,
+                parallelism=parallelism, **kw
+            ),
+            LDAApp(dataset, hyper, seed=args.seed),
+        )
+    if args.app == "slr":
+        dataset = sparse_classification(
+            num_samples=int(1500 * s),
+            num_features=int(800 * s),
+            nnz_per_sample=10,
+            seed=args.seed,
+        )
+        hyper = SLRHyper(step_size=0.2)
+        cost = slr_cost_model(hyper)
+        return (
+            dataset,
+            cost,
+            lambda cluster, **kw: build_slr(
+                dataset, cluster=cluster, hyper=hyper, **kw
+            ),
+            SLRApp(dataset, hyper),
+        )
+    # gbt
+    dataset = regression_table(num_samples=int(1000 * s), num_features=6,
+                               seed=args.seed)
+    return (
+        dataset,
+        None,
+        lambda cluster, **kw: build_gbt(dataset, cluster=cluster, **kw),
+        None,
+    )
+
+
+def _run_engine(
+    engine: str, args, cluster: ClusterSpec, builder, app
+) -> Optional[RunHistory]:
+    if engine == "serial":
+        if app is None:
+            return None
+        return run_serial(app, args.epochs, seed=args.seed, cost=cluster.cost)
+    if engine == "orion":
+        return builder(cluster).run(args.epochs)
+    if engine == "orion-ordered":
+        try:
+            return builder(cluster, ordered=True).run(args.epochs)
+        except TypeError:
+            return None  # app builder has no ordered mode (GBT)
+    if app is None:
+        return None  # remaining engines need the numpy app form
+    if engine == "bosen":
+        return run_bosen(app, cluster, args.epochs, seed=args.seed)
+    if engine == "cm":
+        return run_managed_comm(
+            app, cluster, args.epochs, bandwidth_budget_mbps=1600,
+            seed=args.seed,
+        )
+    if engine == "strads":
+        return run_strads(builder, cluster, args.epochs)
+    if engine == "tf":
+        if not isinstance(app, SGDMFApp):
+            return None
+        return run_tensorflow_minibatch(
+            app, cluster, args.epochs,
+            batch_size=max(1, len(app.entries()) // 4),
+            step_scale=4.0, seed=args.seed,
+        )
+    if engine == "tux2":
+        if not isinstance(app, SGDMFApp):
+            return None
+        return run_tux2_minibatch(app, cluster, args.epochs, seed=args.seed)
+    raise ValueError(f"unknown engine {engine!r}")
+
+
+def _print_history(history: RunHistory, out) -> None:
+    out.write(f"== {history.label} ==\n")
+    initial = history.meta.get("initial_loss")
+    if initial is not None:
+        out.write(f"initial loss: {initial:.6g}\n")
+    out.write(f"{'pass':>5s} {'loss':>14s} {'time (s)':>10s} {'MB sent':>9s}\n")
+    for record in history.records:
+        out.write(
+            f"{record.epoch:5d} {record.loss:14.6g} {record.time_s:10.4f} "
+            f"{record.bytes_sent / 1e6:9.3f}\n"
+        )
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    dataset, cost, builder, app = _dataset_and_builders(args)
+    cluster_kwargs = {}
+    if cost is not None:
+        cluster_kwargs["cost"] = cost
+    cluster = ClusterSpec(
+        num_machines=args.machines,
+        workers_per_machine=args.workers_per_machine,
+        **cluster_kwargs,
+    )
+
+    engines = ENGINES if args.engine == "all" else [args.engine]
+    results: Dict[str, RunHistory] = {}
+    for engine in engines:
+        history = _run_engine(engine, args, cluster, builder, app)
+        if history is None:
+            if args.engine != "all":
+                out.write(
+                    f"engine {engine!r} does not support app {args.app!r}\n"
+                )
+                return 2
+            continue
+        results[engine] = history
+
+    if args.engine == "all":
+        out.write(
+            f"{'engine':15s} {'final loss':>14s} {'s/iter':>10s} "
+            f"{'total s':>10s}\n"
+        )
+        for engine, history in results.items():
+            out.write(
+                f"{engine:15s} {history.final_loss:14.6g} "
+                f"{history.time_per_iteration():10.4f} "
+                f"{history.total_time_s:10.4f}\n"
+            )
+    else:
+        _print_history(next(iter(results.values())), out)
+    if args.plot and results:
+        from repro.tools import ascii_curves
+
+        out.write("\n" + ascii_curves(list(results.values())) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Core DSM abstractions: DistArrays, buffers, accumulators, access brokering."""
+
+from repro.core.accumulator import Accumulator, AccumulatorRegistry
+from repro.core.buffers import DistArrayBuffer
+from repro.core.distarray import DistArray
+
+__all__ = [
+    "Accumulator",
+    "AccumulatorRegistry",
+    "DistArrayBuffer",
+    "DistArray",
+]

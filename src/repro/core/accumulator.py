@@ -1,0 +1,105 @@
+"""Accumulators: per-worker reducible driver variables (paper Sec. 3.4).
+
+An accumulator is created on the driver; the runtime keeps one instance per
+worker, retained across for-loop executions.  The driver aggregates all
+instances with a user-defined commutative, associative operator and may
+reset them.  Loop bodies update accumulators explicitly via
+:meth:`Accumulator.add` (the Python rendering of the paper's ``err += ...``
+on an ``@accumulator`` variable).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Dict, Optional
+
+from repro.core import access
+from repro.errors import AccumulatorError
+
+__all__ = ["Accumulator", "AccumulatorRegistry"]
+
+
+class Accumulator:
+    """A named, per-worker accumulating variable.
+
+    Args:
+        name: identifier used by ``get_aggregated_value`` / ``reset``.
+        initial: the value each worker instance starts from (and resets to).
+        op: commutative + associative combiner, default addition.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        initial: Any = 0.0,
+        op: Callable[[Any, Any], Any] = operator.add,
+    ) -> None:
+        self.name = name
+        self.initial = initial
+        self.op = op
+        self._slots: Dict[int, Any] = {}
+
+    def add(self, value: Any) -> None:
+        """Fold ``value`` into the current worker's instance."""
+        worker = access.current_worker()
+        if worker in self._slots:
+            self._slots[worker] = self.op(self._slots[worker], value)
+        else:
+            self._slots[worker] = self.op(self.initial, value)
+
+    def aggregate(self, op: Optional[Callable[[Any, Any], Any]] = None) -> Any:
+        """Combine every worker instance (driver included) into one value."""
+        combine = op or self.op
+        result = self.initial
+        for value in self._slots.values():
+            result = combine(result, value)
+        return result
+
+    def reset(self) -> None:
+        """Reset every worker instance back to the initial value."""
+        self._slots.clear()
+
+    def worker_value(self, worker: int) -> Any:
+        """One worker's current instance value (initial when untouched)."""
+        return self._slots.get(worker, self.initial)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Accumulator {self.name} slots={len(self._slots)}>"
+
+
+class AccumulatorRegistry:
+    """Driver-side registry mapping accumulator names to instances."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, Accumulator] = {}
+
+    def create(
+        self,
+        name: str,
+        initial: Any = 0.0,
+        op: Callable[[Any, Any], Any] = operator.add,
+    ) -> Accumulator:
+        """Create and register a fresh accumulator under ``name``."""
+        if name in self._by_name:
+            raise AccumulatorError(f"accumulator {name!r} already exists")
+        acc = Accumulator(name, initial, op)
+        self._by_name[name] = acc
+        return acc
+
+    def get(self, name: str) -> Accumulator:
+        """Look up a registered accumulator."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise AccumulatorError(f"unknown accumulator {name!r}") from None
+
+    def aggregate(
+        self, name: str, op: Optional[Callable[[Any, Any], Any]] = None
+    ) -> Any:
+        """Aggregate one accumulator's worker instances (paper's
+        ``get_aggregated_value``)."""
+        return self.get(name).aggregate(op)
+
+    def reset(self, name: str) -> None:
+        """Reset one accumulator (paper's ``reset_accumulator``)."""
+        self.get(name).reset()

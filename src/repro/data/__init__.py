@@ -1,0 +1,37 @@
+"""Datasets: synthetic generators and text-file loaders."""
+
+from repro.data.loader import (
+    parse_json_line,
+    parse_libsvm_line,
+    parse_ratings_line,
+    write_json_lines,
+    write_libsvm_file,
+    write_ratings_file,
+)
+from repro.data.synthetic import (
+    CorpusDataset,
+    MFDataset,
+    SLRDataset,
+    TableDataset,
+    lda_corpus,
+    netflix_like,
+    regression_table,
+    sparse_classification,
+)
+
+__all__ = [
+    "parse_json_line",
+    "parse_libsvm_line",
+    "parse_ratings_line",
+    "write_json_lines",
+    "write_libsvm_file",
+    "write_ratings_file",
+    "CorpusDataset",
+    "MFDataset",
+    "SLRDataset",
+    "TableDataset",
+    "lda_corpus",
+    "netflix_like",
+    "regression_table",
+    "sparse_classification",
+]

@@ -1,0 +1,91 @@
+"""Text-file writing/parsing for DistArray creation (paper Sec. 3.1).
+
+DistArrays load from text files through a user-defined parser.  This module
+provides the standard parsers plus writers so synthetic datasets can round
+trip through the same path real data would take.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, List, Tuple
+
+from repro.errors import MaterializationError
+
+__all__ = [
+    "parse_ratings_line",
+    "parse_libsvm_line",
+    "write_ratings_file",
+    "write_libsvm_file",
+    "parse_json_line",
+    "write_json_lines",
+]
+
+Entry = Tuple[Tuple[int, ...], Any]
+
+
+def parse_ratings_line(line: str) -> Entry:
+    """Parse ``"row col rating"`` into ``((row, col), rating)``."""
+    parts = line.split()
+    if len(parts) != 3:
+        raise MaterializationError(f"bad ratings line: {line!r}")
+    return (int(parts[0]), int(parts[1])), float(parts[2])
+
+
+def write_ratings_file(path: str, entries: Iterable[Entry]) -> int:
+    """Write ``((row, col), rating)`` entries as a ratings text file."""
+    count = 0
+    with open(path, "w") as handle:
+        for (row, col), value in entries:
+            handle.write(f"{row} {col} {value}\n")
+            count += 1
+    return count
+
+
+def parse_libsvm_line(line: str) -> Entry:
+    """Parse a libsvm-style line ``"sample label f:v f:v ..."``.
+
+    The first token is the sample id (this reproduction stores it inline so
+    a single file maps to a 1-D iteration space), the second the label.
+    """
+    parts = line.split()
+    if len(parts) < 2:
+        raise MaterializationError(f"bad libsvm line: {line!r}")
+    sample = int(parts[0])
+    label = int(parts[1])
+    features: List[Tuple[int, float]] = []
+    for token in parts[2:]:
+        fid, _, fval = token.partition(":")
+        features.append((int(fid), float(fval)))
+    return (sample,), (features, label)
+
+
+def write_libsvm_file(path: str, entries: Iterable[Entry]) -> int:
+    """Write SLR entries ``((sample,), (features, label))`` as libsvm text."""
+    count = 0
+    with open(path, "w") as handle:
+        for (sample,), (features, label) in entries:
+            tokens = " ".join(f"{fid}:{fval}" for fid, fval in features)
+            handle.write(f"{sample} {label} {tokens}\n")
+            count += 1
+    return count
+
+
+def parse_json_line(line: str) -> Entry:
+    """Parse ``{"key": [...], "value": ...}`` JSON lines (generic records)."""
+    try:
+        record = json.loads(line)
+        return tuple(int(c) for c in record["key"]), record["value"]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise MaterializationError(f"bad json line: {line!r}: {exc}")
+
+
+def write_json_lines(path: str, entries: Iterable[Entry]) -> int:
+    """Write generic entries as JSON lines readable by
+    :func:`parse_json_line`."""
+    count = 0
+    with open(path, "w") as handle:
+        for key, value in entries:
+            handle.write(json.dumps({"key": list(key), "value": value}) + "\n")
+            count += 1
+    return count

@@ -1,0 +1,18 @@
+"""Simulated distributed runtime: cluster, schedules, executor, costs."""
+
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.executor import EpochResult, OrionExecutor
+from repro.runtime.history import EpochRecord, RunHistory
+from repro.runtime.network import NetworkModel, TrafficLog
+from repro.runtime.simtime import CostModel
+
+__all__ = [
+    "ClusterSpec",
+    "EpochResult",
+    "OrionExecutor",
+    "EpochRecord",
+    "RunHistory",
+    "NetworkModel",
+    "TrafficLog",
+    "CostModel",
+]

@@ -1,0 +1,138 @@
+"""Checkpointing helpers (paper Sec. 4.3, fault tolerance).
+
+An Orion driver checkpoints parameter DistArrays by writing them to disk,
+eagerly, typically every N data passes.  These helpers checkpoint/restore a
+set of arrays atomically enough for the training-resume pattern: writes go
+to a temp name and are renamed into place.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable
+
+from repro.core.distarray import DistArray
+from repro.errors import CheckpointError
+
+__all__ = [
+    "checkpoint_arrays",
+    "restore_arrays",
+    "checkpoint_path",
+    "CheckpointPolicy",
+]
+
+
+def checkpoint_path(directory: str, name: str, tag: str) -> str:
+    """Filesystem path for one array's checkpoint under a tag."""
+    return os.path.join(directory, f"{name}.{tag}.ckpt")
+
+
+def checkpoint_arrays(
+    arrays: Iterable[DistArray], directory: str, tag: str
+) -> Dict[str, str]:
+    """Write each array's checkpoint under ``directory`` with ``tag``.
+
+    Returns name -> path.  Each file is written to a temporary name first
+    and renamed, so a crash mid-write never leaves a truncated checkpoint
+    under the final name.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths: Dict[str, str] = {}
+    for array in arrays:
+        final = checkpoint_path(directory, array.name, tag)
+        temp = final + ".tmp"
+        array.checkpoint(temp)
+        try:
+            os.replace(temp, final)
+        except OSError as exc:
+            raise CheckpointError(f"cannot finalize checkpoint {final!r}: {exc}")
+        paths[array.name] = final
+    return paths
+
+
+class CheckpointPolicy:
+    """Checkpoint every N data passes; restore the latest on demand.
+
+    The paper's fault-tolerance pattern: "a common approach is to
+    checkpoint the parameter DistArrays every N data passes".  Drive the
+    policy from the training loop::
+
+        policy = CheckpointPolicy([W, H], "/ckpts", every_n_epochs=5)
+        for epoch in range(1, epochs + 1):
+            loop.run()
+            policy.step(epoch)
+        ...
+        policy.restore_latest()   # after a crash / for evaluation
+    """
+
+    def __init__(
+        self,
+        arrays: Iterable[DistArray],
+        directory: str,
+        every_n_epochs: int = 5,
+        keep: int = 3,
+    ) -> None:
+        if every_n_epochs <= 0:
+            raise CheckpointError("every_n_epochs must be positive")
+        self.arrays = list(arrays)
+        self.directory = directory
+        self.every_n_epochs = every_n_epochs
+        self.keep = max(1, keep)
+        self._tags: list = []
+
+    @property
+    def latest_tag(self) -> str:
+        """The most recent checkpoint tag, or raises when none exists."""
+        if not self._tags:
+            raise CheckpointError("no checkpoint has been written yet")
+        return self._tags[-1]
+
+    def step(self, epoch: int) -> bool:
+        """Notify the policy that ``epoch`` finished; checkpoint when due.
+
+        Returns whether a checkpoint was written.  Old checkpoints beyond
+        ``keep`` are pruned.
+        """
+        if epoch % self.every_n_epochs != 0:
+            return False
+        tag = f"epoch{epoch}"
+        checkpoint_arrays(self.arrays, self.directory, tag)
+        self._tags.append(tag)
+        while len(self._tags) > self.keep:
+            stale = self._tags.pop(0)
+            for array in self.arrays:
+                path = checkpoint_path(self.directory, array.name, stale)
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+        return True
+
+    def restore_latest(self) -> str:
+        """Restore every array from the most recent checkpoint."""
+        tag = self.latest_tag
+        restore_arrays(self.arrays, self.directory, tag)
+        return tag
+
+    def restore(self, tag: str) -> None:
+        """Restore every array from a specific tag."""
+        restore_arrays(self.arrays, self.directory, tag)
+
+
+def restore_arrays(
+    arrays: Iterable[DistArray], directory: str, tag: str
+) -> None:
+    """Restore each array's storage in place from its tagged checkpoint."""
+    for array in arrays:
+        path = checkpoint_path(directory, array.name, tag)
+        loaded = DistArray.load_checkpoint(path)
+        if loaded.sparse != array.sparse:
+            raise CheckpointError(
+                f"checkpoint {path!r} is {'sparse' if loaded.sparse else 'dense'} "
+                f"but target array is not"
+            )
+        if loaded.sparse:
+            array._entries = loaded._entries
+            array._shape = loaded._shape
+        else:
+            array.set_dense(loaded.values)

@@ -1,0 +1,64 @@
+"""The simulated cluster: machines, workers, and their network.
+
+The paper's testbed is a 42-node cluster (16 cores + hyperthreading per
+node); its main experiments use 12 machines × 32 workers = 384 workers.
+:class:`ClusterSpec` captures that topology plus the network and cost
+models every engine charges against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.runtime.network import NetworkModel
+from repro.runtime.simtime import CostModel
+
+__all__ = ["ClusterSpec"]
+
+
+@dataclass
+class ClusterSpec:
+    """Topology and cost parameters of the simulated cluster.
+
+    Attributes:
+        num_machines: machine count (paper default: 12).
+        workers_per_machine: workers (virtual cores) per machine (paper: 32).
+        network: point-to-point transfer model.
+        cost: per-operation compute cost model.
+    """
+
+    num_machines: int = 12
+    workers_per_machine: int = 32
+    network: NetworkModel = field(default_factory=NetworkModel)
+    cost: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.num_machines <= 0 or self.workers_per_machine <= 0:
+            raise ExecutionError("cluster needs at least one machine and worker")
+
+    @property
+    def num_workers(self) -> int:
+        """Total worker count across the cluster."""
+        return self.num_machines * self.workers_per_machine
+
+    def machine_of(self, worker: int) -> int:
+        """Machine hosting ``worker`` (workers are dealt out contiguously)."""
+        if not 0 <= worker < self.num_workers:
+            raise ExecutionError(f"worker {worker} out of range")
+        return worker // self.workers_per_machine
+
+    def same_machine(self, worker_a: int, worker_b: int) -> bool:
+        """Whether two workers share a machine (cheap communication)."""
+        return self.machine_of(worker_a) == self.machine_of(worker_b)
+
+    @classmethod
+    def single_machine(cls, workers: int = 1, **kwargs) -> "ClusterSpec":
+        """A one-machine cluster, used for the TensorFlow comparison and
+        the serial baseline."""
+        return cls(num_machines=1, workers_per_machine=workers, **kwargs)
+
+    @classmethod
+    def paper_default(cls, **kwargs) -> "ClusterSpec":
+        """The 12-machine × 32-worker setup of the paper's main figures."""
+        return cls(num_machines=12, workers_per_machine=32, **kwargs)

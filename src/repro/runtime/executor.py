@@ -1,0 +1,510 @@
+"""The Orion distributed executor.
+
+Takes a parallelization :class:`~repro.analysis.strategy.Plan` plus the
+analyzed loop and runs epochs over the simulated cluster:
+
+* partitions the iteration space (histogram-balanced) along the plan's
+  space/time dimensions, or by transformed coordinates for unimodular
+  plans;
+* executes the *real* loop body for every iteration, in an order that is a
+  linearization of the schedule — so results are serializable by
+  construction, and a validation mode double-checks that blocks the
+  schedule claims concurrent touch disjoint elements;
+* charges virtual time per block (compute + prefetch + buffer flush) and
+  feeds the schedule's timing model (pipelined rotation, wavefront, or 1D
+  barrier) to obtain the epoch makespan;
+* records traffic events (rotation, flush, prefetch, broadcast) on the
+  virtual timeline for bandwidth accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.analysis.loop_info import LoopInfo
+from repro.analysis.prefetch import synthesize_prefetch
+from repro.analysis.strategy import PlacementKind, Plan, Strategy
+from repro.core import access
+from repro.core.distarray import DistArray
+from repro.errors import ExecutionError
+from repro.runtime import partition as parts
+from repro.runtime import schedule as sched
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.pserver import PrefetchManager, index_nbytes
+
+__all__ = ["EpochResult", "OrionExecutor", "indices_overlap"]
+
+
+# --------------------------------------------------------------------- #
+# Index normalization and overlap (for the serializability validator)    #
+# --------------------------------------------------------------------- #
+
+def _normalize_index(index: Any) -> Tuple[Any, ...]:
+    if not isinstance(index, tuple):
+        index = (index,)
+    out: List[Any] = []
+    for item in index:
+        if isinstance(item, slice):
+            out.append(("range", item.start, item.stop))
+        else:
+            out.append(("pt", int(item)))
+    return tuple(out)
+
+
+def _axis_overlap(a: Any, b: Any) -> bool:
+    if a[0] == "pt" and b[0] == "pt":
+        return a[1] == b[1]
+    if a[0] == "pt":
+        a, b = b, a
+    if b[0] == "pt":
+        lo = a[1] if a[1] is not None else -np.inf
+        hi = a[2] if a[2] is not None else np.inf
+        return lo <= b[1] < hi
+    a_lo = a[1] if a[1] is not None else -np.inf
+    a_hi = a[2] if a[2] is not None else np.inf
+    b_lo = b[1] if b[1] is not None else -np.inf
+    b_hi = b[2] if b[2] is not None else np.inf
+    return a_lo < b_hi and b_lo < a_hi
+
+
+def indices_overlap(a: Tuple[Any, ...], b: Tuple[Any, ...]) -> bool:
+    """Whether two normalized indices can address a common element."""
+    if len(a) != len(b):
+        return False
+    return all(_axis_overlap(x, y) for x, y in zip(a, b))
+
+
+# --------------------------------------------------------------------- #
+# Access broker: accounting + optional validation                        #
+# --------------------------------------------------------------------- #
+
+@dataclass
+class _TaskStats:
+    entries: int = 0
+    server_reads: int = 0
+    server_read_bytes: float = 0.0
+    flush_bytes: float = 0.0
+    accesses: List[Tuple[str, Tuple[Any, ...], bool]] = field(default_factory=list)
+
+
+class _AccountingBroker(access.AccessBroker):
+    """Counts server-array traffic and, in validation mode, records every
+    touched index for the post-epoch serializability check.
+
+    One instance is created per task, so concurrently executing tasks
+    (threaded backend) never share mutable accounting state.
+    """
+
+    def __init__(self, server_ids: Set[int], validate: bool) -> None:
+        self.server_ids = server_ids
+        self.validate = validate
+        self.stats = _TaskStats()
+
+    def read(self, array: DistArray, index: Any) -> Any:
+        if id(array) in self.server_ids:
+            self.stats.server_reads += 1
+            self.stats.server_read_bytes += index_nbytes(array, index)
+        if self.validate:
+            self.stats.accesses.append(
+                (array.name, _normalize_index(index), False)
+            )
+        return array.direct_get(index)
+
+    def write(self, array: DistArray, index: Any, value: Any) -> None:
+        if self.validate:
+            self.stats.accesses.append(
+                (array.name, _normalize_index(index), True)
+            )
+        array.direct_set(index, value)
+
+    def buffer_write(self, buffer: Any, index: Any, value: Any) -> None:
+        buffer.direct_buffer_write(index, value)
+
+
+# --------------------------------------------------------------------- #
+# Executor                                                               #
+# --------------------------------------------------------------------- #
+
+@dataclass
+class EpochResult:
+    """Outcome of one executed data pass."""
+
+    epoch_time_s: float
+    bytes_sent: float
+    #: Traffic events with epoch-relative (t_start, t_end, nbytes, kind).
+    events: List[Tuple[float, float, float, str]] = field(default_factory=list)
+    #: Number of blocks executed.
+    num_tasks: int = 0
+    #: Fraction of worker-seconds spent doing block work (1.0 = no worker
+    #: ever waits on rotation, barriers or the parameter server).
+    utilization: float = 0.0
+
+
+class OrionExecutor:
+    """Runs one compiled parallel for-loop on the simulated cluster.
+
+    Args:
+        body: the loop-body function.
+        info: static analysis of the body.
+        plan: the chosen parallelization.
+        cluster: simulated cluster spec.
+        pipeline_depth: time partitions per worker for unordered 2D
+            (paper Fig. 8 uses 2).
+        balance: histogram-balanced partition bounds (vs. equal width).
+        validate: record accesses and verify that same-step blocks touch
+            disjoint elements (serializability check; slow, for tests).
+        prefetch: ``"auto"`` synthesizes and uses a bulk-prefetch function
+            for server arrays, ``"none"`` models per-access round trips.
+        cache_prefetch: cache each block's prefetch indices across epochs.
+        concurrency: ``"serial"`` executes scheduled-concurrent blocks one
+            after another (a linearization — the default, fully
+            deterministic); ``"threads"`` runs each step's blocks on a
+            thread pool, demonstrating that the schedule's concurrency
+            claims hold under genuine parallel execution (dependence-
+            preserving plans touch disjoint elements, so results match the
+            serial linearization).
+    """
+
+    def __init__(
+        self,
+        body: Callable[..., Any],
+        info: LoopInfo,
+        plan: Plan,
+        cluster: ClusterSpec,
+        pipeline_depth: int = 2,
+        balance: bool = True,
+        validate: bool = False,
+        prefetch: str = "auto",
+        cache_prefetch: bool = False,
+        concurrency: str = "serial",
+    ) -> None:
+        if prefetch not in ("auto", "none"):
+            raise ExecutionError(f"unknown prefetch mode {prefetch!r}")
+        if concurrency not in ("serial", "threads"):
+            raise ExecutionError(f"unknown concurrency mode {concurrency!r}")
+        self.concurrency = concurrency
+        self.body = body
+        self.info = info
+        self.plan = plan
+        self.cluster = cluster
+        self.pipeline_depth = max(1, int(pipeline_depth))
+        self.balance = balance
+        self.validate = validate
+        self.prefetch_mode = prefetch
+        self.cache_prefetch = cache_prefetch
+        self._ready = False
+        self.partitions: Optional[parts.IterationPartitions] = None
+        self.steps: List[List[sched.Task]] = []
+        self.num_workers = 0
+        self.num_time = 1
+        self.epochs_run = 0
+        self._setup()
+
+    # ---------------- setup: partition + schedule ---------------------- #
+
+    def _setup(self) -> None:
+        info, plan = self.info, self.plan
+        entries = list(info.iteration_space.entries())
+        if not entries:
+            raise ExecutionError("iteration space is empty")
+        shape = info.iteration_space.shape
+        requested = self.cluster.num_workers
+
+        if plan.strategy in (Strategy.ONE_D, Strategy.DATA_PARALLEL):
+            dim = plan.space_dim
+            workers = min(requested, shape[dim])
+            self.partitions = parts.partition_1d(
+                entries, dim, shape[dim], workers, balance=self.balance
+            )
+            self.steps = sched.one_d_schedule(workers)
+            self.num_workers, self.num_time = workers, 1
+        elif plan.strategy is Strategy.TWO_D:
+            space_dim, time_dim = plan.space_dim, plan.time_dim
+            workers = min(requested, shape[space_dim])
+            if plan.ordered:
+                num_time = min(
+                    shape[time_dim], workers * self.pipeline_depth
+                )
+                self.steps = sched.ordered_2d_schedule(workers, num_time)
+            else:
+                workers = min(workers, shape[time_dim])
+                depth = max(
+                    1, min(self.pipeline_depth, shape[time_dim] // workers)
+                )
+                num_time = depth * workers
+                self.steps = sched.unordered_2d_schedule(workers, num_time)
+            self.partitions = parts.partition_2d(
+                entries,
+                space_dim,
+                time_dim,
+                shape[space_dim],
+                shape[time_dim],
+                workers,
+                num_time,
+                balance=self.balance,
+            )
+            self.num_workers, self.num_time = workers, num_time
+        elif plan.strategy is Strategy.TWO_D_UNIMODULAR:
+            workers = requested
+            num_time = max(workers, 2)
+            self.partitions = parts.partition_transformed(
+                entries, plan.transform, workers, num_time
+            )
+            self.steps = sched.sequential_outer_schedule(workers, num_time)
+            self.num_workers, self.num_time = workers, num_time
+        else:  # pragma: no cover - enum is exhaustive
+            raise ExecutionError(f"unknown strategy {plan.strategy}")
+
+        # Placement-derived communication quantities.
+        self._server_arrays: Dict[str, DistArray] = {}
+        self._rotated_bytes = 0.0
+        self._replicated_bytes = 0.0
+        for name, placement in plan.placements.items():
+            if name.startswith("<target:"):
+                continue
+            array = info.arrays[name]
+            if placement.kind is PlacementKind.SERVER:
+                self._server_arrays[name] = array
+            elif placement.kind is PlacementKind.ROTATED:
+                self._rotated_bytes += array.nbytes
+            elif placement.kind is PlacementKind.REPLICATED:
+                self._replicated_bytes += array.nbytes
+
+        prefetch_fn = None
+        if self.prefetch_mode == "auto" and self._server_arrays:
+            prefetch_fn = synthesize_prefetch(
+                self.body, info, list(self._server_arrays)
+            )
+        self.prefetch = PrefetchManager(
+            self.cluster,
+            self._server_arrays,
+            prefetch_fn,
+            cache_indices=self.cache_prefetch,
+        )
+        self._server_ids = {id(array) for array in self._server_arrays.values()}
+        self._ready = True
+
+    # ---------------- epoch execution ---------------------------------- #
+
+    @property
+    def rotated_block_bytes(self) -> float:
+        """Bytes of one rotated-array time partition."""
+        if self.num_time == 0:
+            return 0.0
+        return self._rotated_bytes / self.num_time
+
+    def run_epoch(self) -> EpochResult:
+        """Execute one full pass over the iteration space."""
+        if not self._ready:
+            raise ExecutionError("executor not set up")
+        work_s = np.zeros((self.num_workers, self.num_time))
+        flush_bytes = np.zeros((self.num_workers, self.num_time))
+        prefetch_bytes = np.zeros((self.num_workers, self.num_time))
+        task_records: List[Tuple[sched.Task, _TaskStats]] = []
+        validation: Dict[int, List[Tuple[sched.Task, _TaskStats]]] = {}
+
+        for step_tasks in self.steps:
+            for task, stats in self._run_step(step_tasks):
+                block_key = (task.space_idx, task.time_idx)
+                block = self.partitions.block(*block_key)
+                compute = self.cluster.cost.compute_time(len(block))
+                if self.prefetch.prefetch_fn is not None:
+                    cost = self.prefetch.block_read_cost(block_key, block)
+                else:
+                    cost = self.prefetch.random_access_cost_from_counts(
+                        stats.server_reads, stats.server_read_bytes
+                    )
+                flush_transfer = (
+                    self.cluster.network.transfer_time(stats.flush_bytes)
+                    if stats.flush_bytes
+                    else 0.0
+                )
+                # Serializing the outgoing rotated partition is CPU work on
+                # the worker — pipelining cannot hide it (paper Sec. 6.4).
+                marshalling = 0.0
+                if self.plan.strategy is Strategy.TWO_D:
+                    marshalling = (
+                        self.cluster.cost.marshalling_s_per_byte
+                        * self.rotated_block_bytes
+                    )
+                # Per-message CPU (request setup, locking): one prefetch
+                # request plus one flush message per block, when present.
+                messages = cost.num_requests + (1 if stats.flush_bytes else 0)
+                message_cpu = self.cluster.cost.per_message_cpu_s * messages
+                time_idx = task.time_idx or 0
+                work_s[task.space_idx, time_idx] = (
+                    compute + cost.seconds + flush_transfer + marshalling
+                    + message_cpu
+                )
+                flush_bytes[task.space_idx, time_idx] = stats.flush_bytes
+                prefetch_bytes[task.space_idx, time_idx] = cost.nbytes
+                task_records.append((task, stats))
+                if self.validate:
+                    validation.setdefault(task.step, []).append((task, stats))
+
+        if self.validate:
+            self._check_serializability(validation)
+
+        timing = self._timing(work_s)
+        events = self._traffic_events(
+            timing, work_s, flush_bytes, prefetch_bytes
+        )
+        total_bytes = sum(event[2] for event in events)
+        busy = float(work_s.sum())
+        capacity = self.num_workers * timing.makespan
+        self.epochs_run += 1
+        return EpochResult(
+            epoch_time_s=timing.makespan,
+            bytes_sent=total_bytes,
+            events=events,
+            num_tasks=len(task_records),
+            utilization=busy / capacity if capacity > 0 else 0.0,
+        )
+
+    def _run_step(
+        self, step_tasks: List[sched.Task]
+    ) -> List[Tuple[sched.Task, _TaskStats]]:
+        """Execute one step's blocks: serially (a linearization) or on a
+        thread pool (genuinely concurrent; safe because a correct plan's
+        same-step blocks touch disjoint elements)."""
+        if self.concurrency == "serial" or len(step_tasks) <= 1:
+            return [(task, self._run_task(task)) for task in step_tasks]
+        import concurrent.futures
+
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=len(step_tasks)
+        ) as pool:
+            stats = list(pool.map(self._run_task, step_tasks))
+        return list(zip(step_tasks, stats))
+
+    def _run_task(self, task: sched.Task) -> _TaskStats:
+        block = self.partitions.block(task.space_idx, task.time_idx or 0)
+        broker = _AccountingBroker(self._server_ids, self.validate)
+        with access.worker_scope(task.worker), access.install_broker(broker):
+            for key, value in block:
+                self.body(key, value)
+                for buffer in self.info.buffers.values():
+                    if buffer.tick(task.worker):
+                        broker.stats.flush_bytes += buffer.pending_bytes(
+                            task.worker
+                        )
+                        buffer.flush_worker(task.worker)
+        stats = broker.stats
+        stats.entries = len(block)
+        # Flush remaining buffered writes at the block boundary: a worker
+        # synchronizes at most once per partition (paper Sec. 4.3).
+        for buffer in self.info.buffers.values():
+            stats.flush_bytes += buffer.pending_bytes(task.worker)
+            buffer.flush_worker(task.worker)
+        return stats
+
+    # ---------------- timing + traffic --------------------------------- #
+
+    def _timing(self, work_s: np.ndarray) -> sched.ScheduleTiming:
+        plan = self.plan
+        if plan.strategy in (Strategy.ONE_D, Strategy.DATA_PARALLEL):
+            return sched.time_one_d(work_s, self.cluster)
+        if plan.strategy is Strategy.TWO_D:
+            if plan.ordered:
+                return sched.time_ordered_2d(
+                    work_s, self.cluster, self.rotated_block_bytes
+                )
+            return sched.time_unordered_2d(
+                work_s, self.cluster, self.rotated_block_bytes
+            )
+        return sched.time_sequential_outer(work_s, self.cluster)
+
+    def _traffic_events(
+        self,
+        timing: sched.ScheduleTiming,
+        work_s: np.ndarray,
+        flush_bytes: np.ndarray,
+        prefetch_bytes: np.ndarray,
+    ) -> List[Tuple[float, float, float, str]]:
+        events: List[Tuple[float, float, float, str]] = []
+        if self._replicated_bytes:
+            nbytes = self._replicated_bytes * self.cluster.num_machines
+            duration = self.cluster.network.transfer_time(
+                self._replicated_bytes
+            )
+            events.append((0.0, duration, nbytes, "broadcast"))
+        rotated = self.rotated_block_bytes
+        for step_tasks in self.steps:
+            for task in step_tasks:
+                finish = timing.finish.get((task.worker, task.step))
+                if finish is None:
+                    continue
+                time_idx = task.time_idx or 0
+                start = finish - float(work_s[task.space_idx, time_idx])
+                if rotated and self.plan.strategy is Strategy.TWO_D:
+                    duration = self.cluster.network.transfer_time(rotated)
+                    events.append((finish, finish + duration, rotated, "rotation"))
+                fb = float(flush_bytes[task.space_idx, time_idx])
+                if fb:
+                    duration = self.cluster.network.transfer_time(fb)
+                    events.append((finish, finish + duration, fb, "flush"))
+                pb = float(prefetch_bytes[task.space_idx, time_idx])
+                if pb:
+                    duration = self.cluster.network.transfer_time(pb)
+                    events.append((start, start + duration, pb, "prefetch"))
+        return events
+
+    # ---------------- serializability validation ----------------------- #
+
+    def _check_serializability(
+        self, by_step: Dict[int, List[Tuple[sched.Task, _TaskStats]]]
+    ) -> None:
+        """Verify blocks claimed concurrent touch disjoint elements.
+
+        Two same-step blocks conflict when they access an overlapping index
+        of the same non-server array and at least one access is a write.
+        Server-array accesses are exempt — they are the loop's explicitly
+        relaxed dependences (buffered writes / parameter-server reads).
+        """
+        server_names = set(self._server_arrays)
+        for step, records in by_step.items():
+            for left in range(len(records)):
+                task_a, stats_a = records[left]
+                for right in range(left + 1, len(records)):
+                    task_b, stats_b = records[right]
+                    self._check_pair(
+                        step, task_a, stats_a, task_b, stats_b, server_names
+                    )
+
+    @staticmethod
+    def _check_pair(step, task_a, stats_a, task_b, stats_b, server_names):
+        writes_a = [
+            (name, idx) for name, idx, w in stats_a.accesses
+            if w and name not in server_names
+        ]
+        writes_b = [
+            (name, idx) for name, idx, w in stats_b.accesses
+            if w and name not in server_names
+        ]
+        touched_b: Dict[str, List[Tuple[Any, ...]]] = {}
+        for name, idx, _w in stats_b.accesses:
+            if name not in server_names:
+                touched_b.setdefault(name, []).append(idx)
+        touched_a: Dict[str, List[Tuple[Any, ...]]] = {}
+        for name, idx, _w in stats_a.accesses:
+            if name not in server_names:
+                touched_a.setdefault(name, []).append(idx)
+        for name, idx in writes_a:
+            for other in touched_b.get(name, ()):  # write vs anything
+                if indices_overlap(idx, other):
+                    raise ExecutionError(
+                        f"serializability violation at step {step}: workers "
+                        f"{task_a.worker} and {task_b.worker} both touch "
+                        f"{name}{idx} (write involved)"
+                    )
+        for name, idx in writes_b:
+            for other in touched_a.get(name, ()):
+                if indices_overlap(idx, other):
+                    raise ExecutionError(
+                        f"serializability violation at step {step}: workers "
+                        f"{task_a.worker} and {task_b.worker} both touch "
+                        f"{name}{idx} (write involved)"
+                    )

@@ -1,0 +1,103 @@
+"""Run histories: the measurements every engine reports.
+
+A :class:`RunHistory` is the common output format of the Orion executor and
+all baseline engines — per-epoch loss, cumulative virtual time, and traffic
+— from which each benchmark prints its paper-figure rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.runtime.network import TrafficLog
+
+__all__ = ["EpochRecord", "RunHistory"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Measurements for one data pass.
+
+    Attributes:
+        epoch: 1-based data-pass number.
+        loss: objective value measured after the pass.
+        time_s: cumulative virtual seconds at the end of the pass.
+        epoch_time_s: virtual seconds this pass took.
+        bytes_sent: network bytes this pass generated.
+    """
+
+    epoch: int
+    loss: float
+    time_s: float
+    epoch_time_s: float
+    bytes_sent: float = 0.0
+
+
+@dataclass
+class RunHistory:
+    """A labelled sequence of per-epoch records plus traffic details."""
+
+    label: str
+    records: List[EpochRecord] = field(default_factory=list)
+    traffic: TrafficLog = field(default_factory=TrafficLog)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def append(
+        self,
+        loss: float,
+        epoch_time_s: float,
+        bytes_sent: float = 0.0,
+    ) -> EpochRecord:
+        """Append the next epoch's measurements."""
+        epoch = len(self.records) + 1
+        previous = self.records[-1].time_s if self.records else 0.0
+        record = EpochRecord(
+            epoch=epoch,
+            loss=float(loss),
+            time_s=previous + float(epoch_time_s),
+            epoch_time_s=float(epoch_time_s),
+            bytes_sent=float(bytes_sent),
+        )
+        self.records.append(record)
+        return record
+
+    @property
+    def losses(self) -> List[float]:
+        """Loss after each data pass."""
+        return [record.loss for record in self.records]
+
+    @property
+    def times(self) -> List[float]:
+        """Cumulative virtual time after each data pass."""
+        return [record.time_s for record in self.records]
+
+    @property
+    def final_loss(self) -> float:
+        """Loss after the last pass (raises on an empty history)."""
+        return self.records[-1].loss
+
+    @property
+    def total_time_s(self) -> float:
+        """Total virtual time of the run."""
+        return self.records[-1].time_s if self.records else 0.0
+
+    def time_per_iteration(self, skip_first: int = 1) -> float:
+        """Mean epoch time, skipping warm-up passes like the paper
+        (Fig. 9a averages iterations 2 to 8)."""
+        tail = self.records[skip_first:] or self.records
+        return sum(record.epoch_time_s for record in tail) / len(tail)
+
+    def epochs_to_reach(self, loss_target: float) -> Optional[int]:
+        """First epoch at which the loss is at or below ``loss_target``."""
+        for record in self.records:
+            if record.loss <= loss_target:
+                return record.epoch
+        return None
+
+    def time_to_reach(self, loss_target: float) -> Optional[float]:
+        """Virtual time at which the loss first reaches ``loss_target``."""
+        for record in self.records:
+            if record.loss <= loss_target:
+                return record.time_s
+        return None

@@ -1,0 +1,56 @@
+"""Deterministic virtual-time cost model.
+
+Every engine in this reproduction executes the *real* numerical update
+(so loss measurements are genuine) while charging virtual seconds from an
+explicit cost model.  This separates convergence behaviour — which the
+simulation measures — from raw hardware speed, which it models, so the
+paper's throughput *shapes* (speedups, crossovers, ordered-vs-unordered
+ratios) are reproducible on any machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation virtual costs.
+
+    Attributes:
+        entry_cost_s: seconds of useful compute per loop iteration (per
+            processed data entry) for the application's update function.
+        overhead_factor: multiplicative abstraction overhead on top of the
+            raw update (Orion's Julia runtime, Bösen's client library, a
+            C++ system would use < 1 relative to the Julia baseline).
+        sync_overhead_s: fixed cost per synchronization barrier.
+        per_message_cpu_s: CPU time charged per network message, modelling
+            per-message overheads and lock contention (paper Sec. 6.4:
+            excessive communication reduces Bösen's computation throughput).
+        marshalling_s_per_byte: CPU time to serialize/deserialize each byte
+            a worker rotates to its neighbour.  Zero for systems exchanging
+            data by pointer swapping (STRADS's C++ runtime) or for
+            trivially-serializable float arrays; significant for Julia
+            inter-process transfer of structured data like LDA's per-row
+            counts (paper Sec. 6.4).
+    """
+
+    entry_cost_s: float = 1e-6
+    overhead_factor: float = 1.0
+    sync_overhead_s: float = 5e-4
+    per_message_cpu_s: float = 0.0
+    marshalling_s_per_byte: float = 0.0
+
+    def compute_time(self, num_entries: int) -> float:
+        """Virtual seconds to execute ``num_entries`` loop iterations."""
+        return num_entries * self.entry_cost_s * self.overhead_factor
+
+    def with_overhead(self, factor: float) -> "CostModel":
+        """A copy with a different abstraction-overhead factor."""
+        return replace(self, overhead_factor=factor)
+
+    def scaled(self, entry_cost_s: float) -> "CostModel":
+        """A copy with a different per-entry compute cost."""
+        return replace(self, entry_cost_s=entry_cost_s)

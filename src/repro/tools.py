@@ -1,0 +1,149 @@
+"""Terminal reporting utilities for run histories.
+
+Renders :class:`~repro.runtime.history.RunHistory` collections as aligned
+tables and ASCII loss curves — the quick-look layer the examples and the
+CLI use, and the closest offline equivalent of the paper's gnuplot panels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.runtime.history import RunHistory
+
+__all__ = ["comparison_table", "ascii_curves", "render_report"]
+
+
+def comparison_table(histories: Sequence[RunHistory]) -> str:
+    """One row per engine: final loss, time/iteration, total time, traffic."""
+    headers = ["engine", "final loss", "s/iter", "total s", "MB sent"]
+    rows: List[List[str]] = []
+    for history in histories:
+        rows.append(
+            [
+                history.label,
+                f"{history.final_loss:.6g}",
+                f"{history.time_per_iteration():.4g}",
+                f"{history.total_time_s:.4g}",
+                f"{history.traffic.total_bytes / 1e6:.3f}",
+            ]
+        )
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows))
+        for col in range(len(headers))
+    ]
+
+    def _line(cells: Iterable[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[0]) if col == 0 else cell.rjust(widths[col])
+            for col, cell in enumerate(cells)
+        )
+
+    out = [_line(headers), _line("-" * w for w in widths)]
+    out.extend(_line(row) for row in rows)
+    return "\n".join(out)
+
+
+def _scale(
+    value: float, lo: float, hi: float, height: int, log: bool
+) -> int:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(height - 1, max(0, int(round(frac * (height - 1)))))
+
+
+def ascii_curves(
+    histories: Sequence[RunHistory],
+    x_axis: str = "epoch",
+    height: int = 12,
+    width: int = 64,
+    log_y: bool = False,
+) -> str:
+    """Plot each history's loss curve in one shared ASCII frame.
+
+    Args:
+        x_axis: ``"epoch"`` or ``"time"`` (virtual seconds).
+        log_y: log-scale the loss axis (useful when engines diverge by
+            orders of magnitude).
+    """
+    if x_axis not in ("epoch", "time"):
+        raise ValueError(f"unknown x_axis {x_axis!r}")
+    series: List[Tuple[str, List[float], List[float]]] = []
+    for history in histories:
+        xs = (
+            [float(r.epoch) for r in history.records]
+            if x_axis == "epoch"
+            else [r.time_s for r in history.records]
+        )
+        ys = [r.loss for r in history.records]
+        if xs:
+            series.append((history.label, xs, ys))
+    if not series:
+        return "(no data)"
+    all_x = [x for _l, xs, _y in series for x in xs]
+    all_y = [y for _l, _x, ys in series for y in ys]
+    if log_y:
+        all_y = [y for y in all_y if y > 0]
+        if not all_y:
+            log_y = False
+            all_y = [y for _l, _x, ys in series for y in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for index, (_label, xs, ys) in enumerate(series):
+        marker = markers[index % len(markers)]
+        for x, y in zip(xs, ys):
+            if log_y and y <= 0:
+                continue
+            col = _scale(x, x_lo, x_hi, width, log=False)
+            row = _scale(y, y_lo, y_hi, height, log=log_y)
+            grid[height - 1 - row][col] = marker
+    y_label_hi = f"{y_hi:.4g}"
+    y_label_lo = f"{y_lo:.4g}"
+    pad = max(len(y_label_hi), len(y_label_lo))
+    lines = []
+    for row_idx, row in enumerate(grid):
+        prefix = (
+            y_label_hi.rjust(pad)
+            if row_idx == 0
+            else y_label_lo.rjust(pad)
+            if row_idx == height - 1
+            else " " * pad
+        )
+        lines.append(f"{prefix} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    x_title = "epoch" if x_axis == "epoch" else "virtual seconds"
+    lines.append(
+        " " * pad
+        + f"  {x_lo:.4g}"
+        + f"{x_title:^{max(4, width - 16)}}"
+        + f"{x_hi:.4g}"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {label}"
+        for i, (label, _x, _y) in enumerate(series)
+    )
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)
+
+
+def render_report(
+    histories: Sequence[RunHistory],
+    title: Optional[str] = None,
+    x_axis: str = "epoch",
+    log_y: bool = False,
+) -> str:
+    """Comparison table plus loss curves, ready to print."""
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(comparison_table(histories))
+    parts.append("")
+    parts.append(ascii_curves(histories, x_axis=x_axis, log_y=log_y))
+    return "\n".join(parts)

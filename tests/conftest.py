@@ -1,0 +1,80 @@
+"""Shared fixtures: small datasets, clusters, and helper factories.
+
+Loop-body functions used by analysis tests must live in real source files
+(the analyzer reads their source), so tests define bodies at module level
+or inside test functions — both work with ``inspect.getsource``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    lda_corpus,
+    netflix_like,
+    regression_table,
+    sparse_classification,
+)
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.network import NetworkModel
+from repro.runtime.simtime import CostModel
+
+
+@pytest.fixture(scope="session")
+def mf_small():
+    """A small dense-ish rating matrix for MF tests."""
+    return netflix_like(num_rows=40, num_cols=32, num_ratings=900, seed=11)
+
+
+@pytest.fixture(scope="session")
+def mf_skewed():
+    """A skewed rating matrix exercising balanced partitioning."""
+    return netflix_like(
+        num_rows=60, num_cols=50, num_ratings=1200, skew=1.2, seed=13
+    )
+
+
+@pytest.fixture(scope="session")
+def corpus_small():
+    """A small LDA corpus."""
+    return lda_corpus(
+        num_docs=40, vocab_size=60, num_topics=4, doc_length=20, seed=17
+    )
+
+
+@pytest.fixture(scope="session")
+def slr_small():
+    """A small sparse-classification dataset."""
+    return sparse_classification(
+        num_samples=150, num_features=80, nnz_per_sample=5, seed=19
+    )
+
+
+@pytest.fixture(scope="session")
+def table_small():
+    """A small regression table for GBT."""
+    return regression_table(num_samples=200, num_features=4, seed=23)
+
+
+@pytest.fixture
+def cluster_tiny():
+    """2 machines × 2 workers — enough for 2D schedules, fast."""
+    return ClusterSpec(num_machines=2, workers_per_machine=2)
+
+
+@pytest.fixture
+def cluster_mid():
+    """4 machines × 4 workers for scaling-ish tests."""
+    return ClusterSpec(num_machines=4, workers_per_machine=4)
+
+
+@pytest.fixture
+def fast_net():
+    """A network model with visible but small costs."""
+    return NetworkModel(bandwidth_bytes_per_s=1e9, latency_s=1e-5)
+
+
+@pytest.fixture
+def unit_cost():
+    """A cost model with entry cost exactly 1 µs for arithmetic checks."""
+    return CostModel(entry_cost_s=1e-6)

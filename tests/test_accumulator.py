@@ -1,0 +1,92 @@
+"""Unit tests for accumulators (repro.core.accumulator)."""
+
+import operator
+
+import pytest
+
+from repro.core import access
+from repro.core.accumulator import Accumulator, AccumulatorRegistry
+from repro.errors import AccumulatorError
+
+
+class TestAccumulator:
+    def test_add_and_aggregate(self):
+        acc = Accumulator("err", 0.0)
+        acc.add(1.0)
+        acc.add(2.5)
+        assert acc.aggregate() == 3.5
+
+    def test_per_worker_slots(self):
+        acc = Accumulator("err", 0.0)
+        with access.worker_scope(0):
+            acc.add(1.0)
+        with access.worker_scope(1):
+            acc.add(10.0)
+        assert acc.worker_value(0) == 1.0
+        assert acc.worker_value(1) == 10.0
+        assert acc.aggregate() == 11.0
+
+    def test_untouched_worker_has_initial(self):
+        acc = Accumulator("err", 5.0)
+        assert acc.worker_value(3) == 5.0
+
+    def test_slots_retained_across_epochs(self):
+        # The paper: worker accumulator state persists across for-loop
+        # executions until explicitly reset.
+        acc = Accumulator("err", 0.0)
+        for _epoch in range(3):
+            with access.worker_scope(0):
+                acc.add(1.0)
+        assert acc.aggregate() == 3.0
+
+    def test_reset(self):
+        acc = Accumulator("err", 0.0)
+        acc.add(4.0)
+        acc.reset()
+        assert acc.aggregate() == 0.0
+
+    def test_custom_op_max(self):
+        acc = Accumulator("peak", float("-inf"), op=max)
+        with access.worker_scope(0):
+            acc.add(3.0)
+        with access.worker_scope(1):
+            acc.add(7.0)
+        assert acc.aggregate() == 7.0
+
+    def test_aggregate_with_override_op(self):
+        acc = Accumulator("v", 1.0, op=operator.add)
+        with access.worker_scope(0):
+            acc.add(2.0)  # slot = 1 + 2 = 3
+        assert acc.aggregate(operator.mul) == 3.0  # 1.0 * 3.0
+
+    def test_initial_seeds_each_slot(self):
+        acc = Accumulator("v", 100.0)
+        with access.worker_scope(0):
+            acc.add(1.0)
+        assert acc.worker_value(0) == 101.0
+
+
+class TestRegistry:
+    def test_create_and_get(self):
+        registry = AccumulatorRegistry()
+        acc = registry.create("err")
+        assert registry.get("err") is acc
+
+    def test_duplicate_name_raises(self):
+        registry = AccumulatorRegistry()
+        registry.create("err")
+        with pytest.raises(AccumulatorError):
+            registry.create("err")
+
+    def test_unknown_name_raises(self):
+        registry = AccumulatorRegistry()
+        with pytest.raises(AccumulatorError):
+            registry.get("nope")
+
+    def test_aggregate_and_reset_via_registry(self):
+        registry = AccumulatorRegistry()
+        registry.create("err", 0.0)
+        registry.get("err").add(2.0)
+        assert registry.aggregate("err") == 2.0
+        registry.reset("err")
+        assert registry.aggregate("err") == 0.0

@@ -1,0 +1,109 @@
+"""Tests for the MLP application (repro.apps.mlp) — the paper's DNN path."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.strategy import PlacementKind, Strategy
+from repro.apps.mlp import (
+    MLPApp,
+    MLPHyper,
+    build_orion_program,
+    make_blobs,
+    mlp_cost_model,
+)
+from repro.runtime.cluster import ClusterSpec
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    return make_blobs(num_samples=240, num_features=5, num_classes=3, seed=7)
+
+
+@pytest.fixture
+def cluster():
+    return ClusterSpec(num_machines=2, workers_per_machine=2)
+
+
+class TestDataGeneration:
+    def test_entry_shapes(self, blobs):
+        (key,), (x, label) = blobs[0][0], blobs[0][1]
+        assert x.shape == (5,)
+        assert 0 <= label < 3
+
+    def test_classes_separable_by_truth(self, blobs):
+        labels = {label for _k, (_x, label) in blobs}
+        assert labels == {0, 1, 2}
+
+
+class TestOrionProgram:
+    def test_dense_access_gives_data_parallelism(self, blobs, cluster):
+        program = build_orion_program(blobs, 5, 3, cluster=cluster)
+        assert program.plan.strategy is Strategy.DATA_PARALLEL
+        assert program.plan.uses_buffers
+
+    def test_all_weights_server_resident(self, blobs, cluster):
+        program = build_orion_program(blobs, 5, 3, cluster=cluster)
+        kinds = {p.kind for p in program.plan.placements.values()}
+        assert kinds == {PlacementKind.SERVER}
+
+    def test_no_preserved_dependences(self, blobs, cluster):
+        # Dense reads + buffered writes: nothing left for Alg. 2 to keep.
+        program = build_orion_program(blobs, 5, 3, cluster=cluster)
+        assert not program.plan.dvecs
+
+    def test_training_converges(self, blobs, cluster):
+        program = build_orion_program(
+            blobs, 5, 3, cluster=cluster,
+            hyper=MLPHyper(step_size=0.05, max_delay=8),
+        )
+        history = program.run(5)
+        assert history.final_loss < 0.2 * history.meta["initial_loss"]
+
+    def test_tighter_delay_bound_more_traffic(self, blobs, cluster):
+        tight = build_orion_program(
+            blobs, 5, 3, cluster=cluster, hyper=MLPHyper(max_delay=2)
+        ).run(2)
+        loose = build_orion_program(
+            blobs, 5, 3, cluster=cluster, hyper=MLPHyper(max_delay=64)
+        ).run(2)
+        assert tight.records[-1].bytes_sent > loose.records[-1].bytes_sent
+
+    def test_accumulator_collects_training_loss(self, blobs, cluster):
+        program = build_orion_program(blobs, 5, 3, cluster=cluster)
+        program.run(1)
+        total = program.ctx.get_aggregated_value("train_loss")
+        assert total > 0.0
+
+
+class TestSerialApp:
+    def test_serial_training_reaches_high_accuracy(self, blobs):
+        app = MLPApp(blobs, 5, 3, MLPHyper(step_size=0.05))
+        state = app.init_state(0)
+        for _ in range(5):
+            for key, value in app.entries():
+                app.apply_entry(state, key, value)
+        assert app.accuracy(state) > 0.9
+
+    def test_loss_decreases(self, blobs):
+        app = MLPApp(blobs, 5, 3)
+        state = app.init_state(0)
+        before = app.loss(state)
+        for key, value in app.entries():
+            app.apply_entry(state, key, value)
+        assert app.loss(state) < before
+
+    def test_gradients_touch_all_tensors(self, blobs):
+        app = MLPApp(blobs, 5, 3)
+        state = app.init_state(0)
+        snapshot = {k: v.copy() for k, v in state.items()}
+        key, value = app.entries()[0]
+        app.apply_entry(state, key, value)
+        changed = {k for k in state if not np.array_equal(state[k], snapshot[k])}
+        assert changed == {"W1", "B1", "W2", "B2"}
+
+
+class TestCostModel:
+    def test_scales_with_hidden_units(self):
+        small = mlp_cost_model(MLPHyper(hidden_units=8), num_features=6)
+        big = mlp_cost_model(MLPHyper(hidden_units=64), num_features=6)
+        assert big.entry_cost_s > small.entry_cost_s

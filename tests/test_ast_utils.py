@@ -1,0 +1,136 @@
+"""Unit tests for AST helpers (repro.analysis.ast_utils)."""
+
+import ast
+
+import pytest
+
+from repro.analysis import ast_utils
+from repro.analysis.subscript import SubscriptKind
+from repro.errors import AnalysisError
+
+
+def _axis_from(expr_src: str, bindings=None):
+    bindings = bindings or {
+        "key": ast_utils.IndexBinding(dim_idx=None),
+        "i": ast_utils.IndexBinding(dim_idx=0),
+        "j": ast_utils.IndexBinding(dim_idx=1, const=2),
+    }
+    node = ast.parse(f"A[{expr_src}]", mode="eval").body
+    element = node.slice
+    return ast_utils.parse_axis(element, bindings)
+
+
+class TestConstantInt:
+    def test_plain_int(self):
+        node = ast.parse("7", mode="eval").body
+        assert ast_utils.constant_int(node) == 7
+
+    def test_negative_int(self):
+        node = ast.parse("-4", mode="eval").body
+        assert ast_utils.constant_int(node) == -4
+
+    def test_bool_rejected(self):
+        node = ast.parse("True", mode="eval").body
+        assert ast_utils.constant_int(node) is None
+
+    def test_float_rejected(self):
+        node = ast.parse("1.5", mode="eval").body
+        assert ast_utils.constant_int(node) is None
+
+    def test_name_rejected(self):
+        node = ast.parse("x", mode="eval").body
+        assert ast_utils.constant_int(node) is None
+
+
+class TestParseAxis:
+    def test_constant(self):
+        axis = _axis_from("3")
+        assert axis.kind is SubscriptKind.CONSTANT
+        assert axis.const == 3
+
+    def test_full_slice(self):
+        assert _axis_from(":").kind is SubscriptKind.SLICE_ALL
+
+    def test_constant_range(self):
+        axis = _axis_from("1:4")
+        assert axis.kind is SubscriptKind.RANGE
+        assert (axis.lo, axis.hi) == (1, 4)
+
+    def test_stepped_slice_unknown(self):
+        assert _axis_from("1:8:2").kind is SubscriptKind.UNKNOWN
+
+    def test_half_open_slice_unknown(self):
+        assert _axis_from("2:").kind is SubscriptKind.UNKNOWN
+
+    def test_key_subscript(self):
+        axis = _axis_from("key[0]")
+        assert axis.kind is SubscriptKind.INDEX
+        assert (axis.dim_idx, axis.const) == (0, 0)
+
+    def test_key_subscript_plus_const(self):
+        axis = _axis_from("key[1] + 3")
+        assert (axis.dim_idx, axis.const) == (1, 3)
+
+    def test_key_subscript_minus_const(self):
+        axis = _axis_from("key[0] - 2")
+        assert (axis.dim_idx, axis.const) == (0, -2)
+
+    def test_const_plus_key_subscript(self):
+        axis = _axis_from("5 + key[0]")
+        assert (axis.dim_idx, axis.const) == (0, 5)
+
+    def test_alias_name(self):
+        axis = _axis_from("i")
+        assert (axis.dim_idx, axis.const) == (0, 0)
+
+    def test_alias_with_stored_offset(self):
+        # j was bound as key[1] + 2; using j +1 gives total offset 3.
+        axis = _axis_from("j + 1")
+        assert (axis.dim_idx, axis.const) == (1, 3)
+
+    def test_unbound_name_unknown(self):
+        assert _axis_from("fid").kind is SubscriptKind.UNKNOWN
+
+    def test_arithmetic_on_two_indices_unknown(self):
+        assert _axis_from("i + j").kind is SubscriptKind.UNKNOWN
+
+    def test_multiplication_unknown(self):
+        assert _axis_from("2 * i").kind is SubscriptKind.UNKNOWN
+
+    def test_whole_key_name_not_an_index_axis(self):
+        # `A[key]` handling happens at the reference level, not per axis.
+        assert _axis_from("key").kind is SubscriptKind.UNKNOWN
+
+
+class TestFunctionTools:
+    def test_get_function_def(self):
+        def sample(key, value):
+            return key
+
+        tree = ast_utils.get_function_def(sample)
+        assert tree.name == "sample"
+        assert [a.arg for a in tree.args.args] == ["key", "value"]
+
+    def test_get_function_def_rejects_builtins(self):
+        with pytest.raises(AnalysisError):
+            ast_utils.get_function_def(len)
+
+    def test_resolve_free_variables_closure_beats_globals(self):
+        shadow = "closure"
+
+        def inner(key):
+            return shadow
+
+        env = ast_utils.resolve_free_variables(inner)
+        assert env["shadow"] == "closure"
+
+    def test_resolve_free_variables_includes_globals(self):
+        def uses_global(key):
+            return ast_utils
+
+        env = ast_utils.resolve_free_variables(uses_global)
+        assert env["ast_utils"] is ast_utils
+
+    def test_is_builtin_name(self):
+        assert ast_utils.is_builtin_name("len")
+        assert not ast_utils.is_builtin_name("definitely_not_a_builtin_xyz")

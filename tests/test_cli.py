@@ -1,0 +1,119 @@
+"""Tests for the command-line runner (repro.cli)."""
+
+import io
+
+import pytest
+
+from repro.cli import ENGINES, build_parser, main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["mf"])
+        assert args.engine == "orion"
+        assert args.epochs == 5
+
+    def test_engine_choices_cover_all(self):
+        for engine in ENGINES:
+            args = build_parser().parse_args(["mf", "--engine", engine])
+            assert args.engine == engine
+
+    def test_bad_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resnet"])
+
+
+class TestSingleEngineRuns:
+    def test_orion_mf(self):
+        code, output = _run(
+            ["mf", "--engine", "orion", "--epochs", "2", "--scale", "0.3",
+             "--machines", "2", "--workers-per-machine", "2"]
+        )
+        assert code == 0
+        assert "Orion SGD MF" in output
+        assert "pass" in output
+        assert output.count("\n") >= 4
+
+    def test_serial_slr(self):
+        code, output = _run(
+            ["slr", "--engine", "serial", "--epochs", "2", "--scale", "0.2"]
+        )
+        assert code == 0
+        assert "Serial" in output
+
+    def test_bosen_lda(self):
+        code, output = _run(
+            ["lda", "--engine", "bosen", "--epochs", "1", "--scale", "0.3",
+             "--machines", "1", "--workers-per-machine", "2"]
+        )
+        assert code == 0
+        assert "Bosen" in output
+
+    def test_gbt_orion(self):
+        code, output = _run(
+            ["gbt", "--engine", "orion", "--epochs", "1", "--scale", "0.2"]
+        )
+        assert code == 0
+        assert "Orion GBT" in output
+
+    def test_adarev_variant(self):
+        code, output = _run(
+            ["mf-adarev", "--engine", "orion", "--epochs", "1",
+             "--scale", "0.2", "--machines", "1",
+             "--workers-per-machine", "2"]
+        )
+        assert code == 0
+        assert "AdaRev" in output
+
+
+class TestUnsupportedCombos:
+    def test_tux2_requires_mf(self):
+        code, output = _run(["slr", "--engine", "tux2", "--epochs", "1",
+                             "--scale", "0.2"])
+        assert code == 2
+        assert "does not support" in output
+
+    def test_serial_requires_numpy_app(self):
+        code, output = _run(["gbt", "--engine", "serial", "--epochs", "1",
+                             "--scale", "0.2"])
+        assert code == 2
+
+
+class TestAllEnginesTable:
+    def test_comparison_table(self):
+        code, output = _run(
+            ["mf", "--engine", "all", "--epochs", "1", "--scale", "0.2",
+             "--machines", "1", "--workers-per-machine", "2"]
+        )
+        assert code == 0
+        header = output.splitlines()[0]
+        assert "final loss" in header
+        for engine in ("serial", "orion", "bosen", "strads", "tux2"):
+            assert engine in output
+
+
+class TestPlotFlag:
+    def test_plot_renders_curves(self):
+        code, output = _run(
+            ["mf", "--engine", "orion", "--epochs", "2", "--scale", "0.2",
+             "--machines", "1", "--workers-per-machine", "2", "--plot"]
+        )
+        assert code == 0
+        assert "epoch" in output
+        assert "|" in output
+
+
+class TestLda1d:
+    def test_lda_one_d_runs(self):
+        code, output = _run(
+            ["lda-1d", "--engine", "orion", "--epochs", "1", "--scale", "0.2",
+             "--machines", "1", "--workers-per-machine", "2"]
+        )
+        assert code == 0
+        assert "Orion LDA" in output

@@ -1,0 +1,288 @@
+"""Unit tests for dependence vectors and Alg. 2 (repro.analysis.depvec)."""
+
+import pytest
+
+from repro.analysis import subscript as sub
+from repro.analysis.depvec import (
+    ANY,
+    NEG,
+    POS,
+    ArrayRef,
+    DepVector,
+    compute_dependence_vectors,
+    entry_add,
+    entry_is_exact,
+    entry_is_positive,
+    entry_is_zero,
+    entry_mul,
+    entry_negate,
+)
+
+
+class TestEntryArithmetic:
+    def test_exact_predicates(self):
+        assert entry_is_exact(3)
+        assert not entry_is_exact(ANY)
+        assert entry_is_zero(0)
+        assert not entry_is_zero(ANY)
+        assert entry_is_positive(2)
+        assert entry_is_positive(POS)
+        assert not entry_is_positive(ANY)
+        assert not entry_is_positive(0)
+        assert not entry_is_positive(NEG)
+
+    def test_negate(self):
+        assert entry_negate(3) == -3
+        assert entry_negate(ANY) is ANY
+        assert entry_negate(POS) is NEG
+        assert entry_negate(NEG) is POS
+
+    def test_mul_zero_coefficient_annihilates(self):
+        assert entry_mul(0, ANY) == 0
+        assert entry_mul(0, POS) == 0
+        assert entry_mul(0, 7) == 0
+
+    def test_mul_sign_handling(self):
+        assert entry_mul(2, 3) == 6
+        assert entry_mul(-1, POS) is NEG
+        assert entry_mul(3, NEG) is NEG
+        assert entry_mul(-2, NEG) is POS
+        assert entry_mul(5, ANY) is ANY
+
+    def test_add_exact(self):
+        assert entry_add(2, 3) == 5
+
+    def test_add_any_absorbs(self):
+        assert entry_add(ANY, 5) is ANY
+        assert entry_add(POS, ANY) is ANY
+
+    def test_add_pos_nonneg_stays_pos(self):
+        assert entry_add(POS, 0) is POS
+        assert entry_add(POS, 3) is POS
+        assert entry_add(POS, POS) is POS
+
+    def test_add_pos_negative_widens(self):
+        assert entry_add(POS, -1) is ANY
+        assert entry_add(POS, NEG) is ANY
+
+    def test_add_neg_mirror(self):
+        assert entry_add(NEG, -2) is NEG
+        assert entry_add(NEG, 0) is NEG
+        assert entry_add(NEG, 1) is ANY
+
+
+class TestLexicoPositive:
+    def test_all_zero_dropped(self):
+        assert DepVector((0, 0)).lexico_positive() is None
+
+    def test_positive_lead_kept(self):
+        vector = DepVector((1, -5))
+        assert vector.lexico_positive().entries == (1, -5)
+
+    def test_negative_lead_flipped(self):
+        assert DepVector((-1, 2)).lexico_positive().entries == (1, -2)
+
+    def test_zero_then_negative_flipped(self):
+        assert DepVector((0, -3)).lexico_positive().entries == (0, 3)
+
+    def test_any_lead_becomes_pos(self):
+        corrected = DepVector((ANY, 0)).lexico_positive()
+        assert corrected.entries == (POS, 0)
+
+    def test_zero_then_any_becomes_pos(self):
+        corrected = DepVector((0, ANY)).lexico_positive()
+        assert corrected.entries == (0, POS)
+
+    def test_pos_lead_kept(self):
+        vector = DepVector((POS, ANY))
+        assert vector.lexico_positive().entries == (POS, ANY)
+
+    def test_any_lead_full_cover(self):
+        # (ANY, ANY) admits distances with a strictly positive lead AND
+        # zero-lead distances with a positive tail; both must be kept.
+        cover = {v.entries for v in DepVector((ANY, ANY)).lexico_positive_set()}
+        assert cover == {(POS, ANY), (0, POS)}
+
+    def test_negative_exact_lead_cover(self):
+        cover = {v.entries for v in DepVector((-2, ANY)).lexico_positive_set()}
+        assert cover == {(2, ANY)}
+
+    def test_neg_lead_flipped(self):
+        assert DepVector((NEG, 1)).lexico_positive().entries == (POS, -1)
+
+    def test_trailing_any_preserved(self):
+        corrected = DepVector((ANY, ANY)).lexico_positive()
+        assert corrected.entries == (POS, ANY)
+
+
+class TestTransform:
+    def test_identity(self):
+        vector = DepVector((1, ANY))
+        out = vector.transform([[1, 0], [0, 1]])
+        assert out.entries == (1, ANY)
+
+    def test_skew_wavefront(self):
+        # T = [[1,1],[0,1]] maps (1,0)->(1,0) and (0,1)->(1,1).
+        skew = [[1, 1], [0, 1]]
+        assert DepVector((1, 0)).transform(skew).entries == (1, 0)
+        assert DepVector((0, 1)).transform(skew).entries == (1, 1)
+
+    def test_transform_pos_entries(self):
+        skew = [[1, 1], [0, 1]]
+        out = DepVector((POS, 0)).transform(skew)
+        assert out.entries == (POS, 0)
+
+    def test_transform_shape_mismatch_raises(self):
+        from repro.errors import DependenceError
+
+        with pytest.raises(DependenceError):
+            DepVector((1, 0)).transform([[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+
+    def test_describe(self):
+        assert DepVector((0, ANY, POS, NEG, 2)).describe() == \
+            "(0, inf, +inf, -inf, 2)"
+
+
+def _ref(axes, write, buffered=False):
+    return ArrayRef(array_name="A", axes=tuple(axes), is_write=write,
+                    buffered=buffered)
+
+
+class TestAlgorithm2:
+    """Dependence-vector computation for the paper's reference patterns."""
+
+    def test_mf_pattern(self):
+        # W[:, key[0]] read + write over a 2-D iteration space -> (0, inf).
+        refs = [
+            _ref([sub.slice_all(), sub.index(0)], write=False),
+            _ref([sub.slice_all(), sub.index(0)], write=True),
+        ]
+        dvecs = compute_dependence_vectors(refs, 2, unordered_loop=True)
+        assert {v.entries for v in dvecs} == {(0, POS)}
+
+    def test_mf_pattern_second_factor(self):
+        refs = [
+            _ref([sub.slice_all(), sub.index(1)], write=False),
+            _ref([sub.slice_all(), sub.index(1)], write=True),
+        ]
+        dvecs = compute_dependence_vectors(refs, 2, unordered_loop=True)
+        assert {v.entries for v in dvecs} == {(POS, 0)}
+
+    def test_read_read_skipped(self):
+        refs = [
+            _ref([sub.index(0)], write=False),
+            _ref([sub.index(0)], write=False),
+        ]
+        assert not compute_dependence_vectors(refs, 1)
+
+    def test_write_write_skipped_when_unordered(self):
+        refs = [_ref([sub.index(0)], write=True)]
+        assert not compute_dependence_vectors(refs, 2, unordered_loop=True)
+
+    def test_write_write_kept_when_ordered(self):
+        refs = [_ref([sub.index(0)], write=True)]
+        dvecs = compute_dependence_vectors(refs, 2, unordered_loop=False)
+        assert {v.entries for v in dvecs} == {(0, POS)}
+
+    def test_shifted_subscripts_give_distance(self):
+        # A[key[0]+1] read, A[key[0]] write -> distance 1 along dim 0.
+        refs = [
+            _ref([sub.index(0, 1)], write=False),
+            _ref([sub.index(0, 0)], write=True),
+        ]
+        dvecs = compute_dependence_vectors(refs, 1)
+        assert {v.entries for v in dvecs} == {(1,)}
+
+    def test_negative_distance_normalized(self):
+        refs = [
+            _ref([sub.index(0, -2)], write=False),
+            _ref([sub.index(0, 0)], write=True),
+        ]
+        dvecs = compute_dependence_vectors(refs, 1)
+        assert {v.entries for v in dvecs} == {(2,)}
+
+    def test_conflicting_distances_prove_independence(self):
+        # A[key[0], key[0]+1] vs A[key[0], key[0]] needs distance 0 and 1
+        # on the same iteration dim at once -> independent.
+        refs = [
+            _ref([sub.index(0), sub.index(0, 1)], write=False),
+            _ref([sub.index(0), sub.index(0)], write=True),
+        ]
+        assert not compute_dependence_vectors(refs, 1)
+
+    def test_distinct_constant_columns_independent(self):
+        refs = [
+            _ref([sub.index(0), sub.constant(1)], write=False),
+            _ref([sub.index(0), sub.constant(2)], write=True),
+        ]
+        assert not compute_dependence_vectors(refs, 1)
+
+    def test_same_constant_column_dependent(self):
+        refs = [
+            _ref([sub.index(0), sub.constant(1)], write=False),
+            _ref([sub.index(0), sub.constant(1)], write=True),
+        ]
+        dvecs = compute_dependence_vectors(refs, 1)
+        # Same coordinate requires distance 0 -> self-dependence, dropped.
+        assert not dvecs
+
+    def test_unknown_subscript_conservative(self):
+        refs = [
+            _ref([sub.unknown()], write=False),
+            _ref([sub.unknown()], write=True),
+        ]
+        dvecs = compute_dependence_vectors(refs, 2)
+        # The full lexicographically-positive cover of (ANY, ANY).
+        assert {v.entries for v in dvecs} == {(POS, ANY), (0, POS)}
+
+    def test_buffered_refs_exempt(self):
+        refs = [
+            _ref([sub.unknown()], write=True, buffered=True),
+            _ref([sub.index(0)], write=False),
+        ]
+        assert not compute_dependence_vectors(refs, 1)
+
+    def test_lda_pattern(self):
+        # doc_topic[key[0], :] read+write plus word_topic[key[1], :]:
+        # handled per array; doc side gives (0, inf).
+        doc_refs = [
+            _ref([sub.index(0), sub.slice_all()], write=False),
+            _ref([sub.index(0), sub.slice_all()], write=True),
+        ]
+        dvecs = compute_dependence_vectors(doc_refs, 2, unordered_loop=True)
+        assert {v.entries for v in dvecs} == {(0, POS)}
+
+    def test_whole_key_self_dependence_dropped(self):
+        refs = [
+            _ref([sub.index(0), sub.index(1)], write=False),
+            _ref([sub.index(0), sub.index(1)], write=True),
+        ]
+        assert not compute_dependence_vectors(refs, 2, unordered_loop=True)
+
+    def test_range_vs_disjoint_range_independent(self):
+        refs = [
+            _ref([sub.const_range(0, 3), sub.index(0)], write=False),
+            _ref([sub.const_range(5, 8), sub.index(0)], write=True),
+        ]
+        assert not compute_dependence_vectors(refs, 1)
+
+    def test_range_vs_overlapping_range_dependent(self):
+        refs = [
+            _ref([sub.const_range(0, 6), sub.index(0)], write=False),
+            _ref([sub.const_range(5, 8), sub.index(0, 1)], write=True),
+        ]
+        dvecs = compute_dependence_vectors(refs, 1)
+        assert {v.entries for v in dvecs} == {(1,)}
+
+    def test_multiple_arrays_not_mixed(self):
+        # compute_dependence_vectors is per-array; caller unions.  Distinct
+        # names inside one call are still treated as potentially aliasing —
+        # so the contract is: only pass refs of a single array.
+        refs = [
+            _ref([sub.index(0)], write=True),
+            _ref([sub.index(1)], write=False),
+        ]
+        dvecs = compute_dependence_vectors(refs, 2, unordered_loop=True)
+        # read at key[1] vs write at key[0]: constrained on both dims when
+        # subscripts match is impossible to refine -> (ANY->POS, ANY) style.
+        assert dvecs  # conservative dependence retained

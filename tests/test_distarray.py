@@ -1,0 +1,298 @@
+"""Unit tests for DistArrays (repro.core.distarray)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distarray import DistArray, parse_dense_line
+from repro.errors import CheckpointError, MaterializationError, SubscriptError
+
+
+class TestLazyCreation:
+    def test_from_entries_is_lazy(self):
+        array = DistArray.from_entries([((0, 0), 1.0)], shape=(2, 2))
+        assert not array.is_materialized
+
+    def test_materialize_is_idempotent(self):
+        array = DistArray.from_entries([((0, 0), 1.0)], shape=(2, 2))
+        array.materialize()
+        first = array._entries
+        array.materialize()
+        assert array._entries is first
+
+    def test_access_before_materialize_raises(self):
+        array = DistArray.from_entries([((0, 0), 1.0)], shape=(2, 2))
+        with pytest.raises(MaterializationError):
+            array[0, 0]
+
+    def test_shape_unknown_before_materialize(self):
+        array = DistArray.from_entries([((0, 0), 1.0)])
+        with pytest.raises(MaterializationError):
+            array.shape
+
+    def test_shape_inference(self):
+        array = DistArray.from_entries(
+            [((0, 0), 1.0), ((3, 5), 2.0)]
+        ).materialize()
+        assert array.shape == (4, 6)
+
+    def test_empty_entries_shape_inference_fails(self):
+        array = DistArray.from_entries([])
+        with pytest.raises(MaterializationError):
+            array.materialize()
+
+    def test_no_recipe_raises(self):
+        array = DistArray(name="bare", shape=(2,), sparse=True)
+        with pytest.raises(MaterializationError):
+            array.materialize()
+
+
+class TestDenseCreation:
+    def test_randn_shape_and_determinism(self):
+        a = DistArray.randn(3, 4, seed=42).materialize()
+        b = DistArray.randn(3, 4, seed=42).materialize()
+        assert a.values.shape == (3, 4)
+        assert np.array_equal(a.values, b.values)
+
+    def test_randn_scale(self):
+        a = DistArray.randn(50, 50, seed=0, scale=0.01).materialize()
+        assert np.abs(a.values).max() < 1.0
+
+    def test_rand_in_unit_interval(self):
+        a = DistArray.rand(10, 10, seed=1).materialize()
+        assert a.values.min() >= 0.0
+        assert a.values.max() < 1.0
+
+    def test_zeros(self):
+        a = DistArray.zeros(2, 3).materialize()
+        assert np.array_equal(a.values, np.zeros((2, 3)))
+
+    def test_full(self):
+        a = DistArray.full((2, 2), 7.5).materialize()
+        assert np.array_equal(a.values, np.full((2, 2), 7.5))
+
+    def test_dense_requires_shape(self):
+        array = DistArray(name="noshape", recipes=[], sparse=False)
+        with pytest.raises(MaterializationError):
+            array.materialize()
+
+
+class TestMapFusion:
+    def test_map_values_on_dense(self):
+        a = DistArray.zeros(2, 2).map(lambda v: v + 1.0, map_values=True)
+        a.materialize()
+        assert np.array_equal(a.values, np.ones((2, 2)))
+
+    def test_map_chain_fuses(self):
+        a = (
+            DistArray.zeros(2, 2)
+            .map(lambda v: v + 1.0, map_values=True)
+            .map(lambda v: v * 3.0, map_values=True)
+        ).materialize()
+        assert np.array_equal(a.values, np.full((2, 2), 3.0))
+
+    def test_map_is_lazy(self):
+        calls = []
+
+        def fn(v):
+            calls.append(v)
+            return v
+
+        a = DistArray.zeros(2, 2).map(fn, map_values=True)
+        assert not calls
+        a.materialize()
+        assert calls
+
+    def test_map_does_not_mutate_parent(self):
+        parent = DistArray.from_entries([((0,), 1.0)], shape=(1,))
+        child = parent.map(lambda v: v * 2, map_values=True)
+        parent.materialize()
+        child.materialize()
+        assert parent[(0,)] == 1.0
+        assert child[(0,)] == 2.0
+
+    def test_map_entries_sparse(self):
+        a = DistArray.from_entries(
+            [((0, 1), 2.0), ((1, 0), 3.0)], shape=(2, 2)
+        ).map(lambda key, value: ((key[1], key[0]), value), map_values=False)
+        a.materialize()
+        assert a[(1, 0)] == 2.0
+        assert a[(0, 1)] == 3.0
+
+    def test_map_entries_can_drop(self):
+        a = DistArray.from_entries(
+            [((0,), 1.0), ((1,), 2.0)], shape=(2,)
+        ).map(lambda key, value: None if value > 1.5 else (key, value))
+        a.materialize()
+        assert a.num_entries == 1
+
+    def test_dense_map_entries_rejected(self):
+        with pytest.raises(MaterializationError):
+            DistArray.zeros(2, 2).map(lambda k, v: (k, v), map_values=False)
+
+
+class TestTextFile(object):
+    def test_load_and_parse(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("0 1 2.5\n1 0 -1.0\n\n")
+        array = DistArray.text_file(str(path)).materialize()
+        assert array.num_entries == 2
+        assert array[(0, 1)] == 2.5
+        assert array[(1, 0)] == -1.0
+
+    def test_custom_parser(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("3,4,9.0\n")
+
+        def parser(line):
+            a, b, v = line.split(",")
+            return (int(a), int(b)), float(v)
+
+        array = DistArray.text_file(str(path), parser).materialize()
+        assert array[(3, 4)] == 9.0
+
+    def test_default_parser_rejects_garbage(self):
+        with pytest.raises(MaterializationError):
+            parse_dense_line("oops")
+
+
+class TestAccess:
+    def test_sparse_point_get_set(self):
+        a = DistArray.from_entries([((1, 2), 5.0)], shape=(3, 3)).materialize()
+        assert a[1, 2] == 5.0
+        a[1, 2] = 6.0
+        assert a[1, 2] == 6.0
+
+    def test_sparse_missing_entry_raises(self):
+        a = DistArray.from_entries([((0, 0), 1.0)], shape=(2, 2)).materialize()
+        with pytest.raises(SubscriptError):
+            a[1, 1]
+
+    def test_sparse_get_with_default(self):
+        a = DistArray.from_entries([((0, 0), 1.0)], shape=(2, 2)).materialize()
+        assert a.get((1, 1), -1.0) == -1.0
+
+    def test_sparse_contains(self):
+        a = DistArray.from_entries([((0, 0), 1.0)], shape=(2, 2)).materialize()
+        assert a.contains((0, 0))
+        assert not a.contains((1, 1))
+
+    def test_sparse_wrong_arity_raises(self):
+        a = DistArray.from_entries([((0, 0), 1.0)], shape=(2, 2)).materialize()
+        with pytest.raises(SubscriptError):
+            a[(0,)]
+
+    def test_dense_point_and_set_queries(self):
+        a = DistArray.zeros(3, 4).materialize()
+        a[1, 2] = 9.0
+        assert a[1, 2] == 9.0
+        column = a[:, 2]
+        assert column.shape == (3,)
+        assert column[1] == 9.0
+
+    def test_dense_range_query(self):
+        a = DistArray.zeros(5, 5).materialize()
+        a[1:3, 0] = np.array([1.0, 2.0])
+        assert np.array_equal(a[1:3, 0], np.array([1.0, 2.0]))
+
+    def test_values_on_sparse_raises(self):
+        a = DistArray.from_entries([((0,), 1.0)], shape=(1,)).materialize()
+        with pytest.raises(SubscriptError):
+            a.values
+
+    def test_set_dense_replaces_storage(self):
+        a = DistArray.zeros(2, 2).materialize()
+        a.set_dense(np.ones((2, 2)))
+        assert np.array_equal(a.values, np.ones((2, 2)))
+
+    def test_entries_iteration_dense(self):
+        a = DistArray.zeros(2, 2).materialize()
+        keys = {key for key, _v in a.entries()}
+        assert keys == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_nbytes_positive(self):
+        dense = DistArray.zeros(4, 4).materialize()
+        sparse = DistArray.from_entries([((0,), 1.0)], shape=(4,)).materialize()
+        assert dense.nbytes == 4 * 4 * 8
+        assert sparse.nbytes > 0
+
+
+class TestSetOperations:
+    def _sparse(self):
+        entries = [((i, j), float(i * 10 + j)) for i in range(4) for j in range(3)]
+        return DistArray.from_entries(entries, shape=(4, 3)).materialize()
+
+    def test_group_by_dimension(self):
+        grouped = self._sparse().group_by(0)
+        assert grouped.sparse
+        assert grouped.num_entries == 4
+        rows = grouped[(2,)]
+        assert len(rows) == 3
+        assert all(key[0] == 2 for key, _v in rows)
+
+    def test_group_by_out_of_range(self):
+        with pytest.raises(SubscriptError):
+            self._sparse().group_by(5)
+
+    def test_group_by_dense_rejected(self):
+        with pytest.raises(SubscriptError):
+            DistArray.zeros(2, 2).materialize().group_by(0)
+
+    def test_randomize_preserves_multiset(self):
+        original = self._sparse()
+        shuffled = original.randomize(seed=3)
+        assert shuffled.num_entries == original.num_entries
+        assert sorted(v for _k, v in shuffled.entries()) == sorted(
+            v for _k, v in original.entries()
+        )
+
+    def test_randomize_permutations_recorded(self):
+        shuffled = self._sparse().randomize(dims=[0], seed=3)
+        assert set(shuffled.permutations) == {0}
+        assert sorted(shuffled.permutations[0]) == list(range(4))
+
+    def test_randomize_single_dim_keeps_other(self):
+        original = self._sparse()
+        shuffled = original.randomize(dims=[0], seed=3)
+        original_cols = sorted(key[1] for key, _v in original.entries())
+        shuffled_cols = sorted(key[1] for key, _v in shuffled.entries())
+        assert original_cols == shuffled_cols
+
+    def test_histogram_per_coordinate(self):
+        counts = self._sparse().histogram(0)
+        assert counts.tolist() == [3, 3, 3, 3]
+
+    def test_histogram_binned(self):
+        counts = self._sparse().histogram(0, num_bins=2)
+        assert counts.tolist() == [6, 6]
+
+    def test_histogram_bad_dim(self):
+        with pytest.raises(SubscriptError):
+            self._sparse().histogram(9)
+
+
+class TestCheckpoint:
+    def test_roundtrip_dense(self, tmp_path):
+        a = DistArray.randn(3, 3, seed=7, name="ckpt_dense").materialize()
+        path = str(tmp_path / "a.ckpt")
+        a.checkpoint(path)
+        restored = DistArray.load_checkpoint(path)
+        assert np.array_equal(restored.values, a.values)
+        assert restored.name == "ckpt_dense"
+
+    def test_roundtrip_sparse(self, tmp_path):
+        a = DistArray.from_entries(
+            [((0, 1), 2.0)], shape=(2, 2), name="ckpt_sparse"
+        ).materialize()
+        path = str(tmp_path / "b.ckpt")
+        a.checkpoint(path)
+        restored = DistArray.load_checkpoint(path)
+        assert restored[(0, 1)] == 2.0
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            DistArray.load_checkpoint(str(tmp_path / "missing.ckpt"))
+
+    def test_unwritable_path_raises(self):
+        a = DistArray.zeros(2).materialize()
+        with pytest.raises(CheckpointError):
+            a.checkpoint("/nonexistent-dir-xyz/a.ckpt")

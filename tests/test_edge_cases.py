@@ -1,0 +1,176 @@
+"""Edge-case tests collected from review: negative transformed coordinates,
+object-valued sparse checkpoints, buffer usage patterns, loader round trips.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.unimodular import interchange, reversal, skew
+from repro.core.buffers import DistArrayBuffer
+from repro.core.distarray import DistArray
+from repro.data.loader import (
+    parse_json_line,
+    parse_libsvm_line,
+    parse_ratings_line,
+    write_json_lines,
+    write_libsvm_file,
+    write_ratings_file,
+)
+from repro.runtime.partition import partition_transformed
+
+
+class TestTransformedPartitionNegativeCoords:
+    def _entries(self, n=5):
+        return [((i, j), 1.0) for i in range(n) for j in range(n)]
+
+    def test_reversal_transform(self):
+        # q = (-i, j): transformed time coordinates are negative.
+        partitions = partition_transformed(
+            self._entries(), reversal(2, 0), num_space=2, num_time=3
+        )
+        assert partitions.total_entries == 25
+        assert partitions.time_bounds[0][0] == -4
+        assert partitions.time_bounds[-1][1] == 1
+
+    def test_negative_skew(self):
+        # q = (i - j, j) spans negative and positive time coordinates.
+        partitions = partition_transformed(
+            self._entries(), skew(2, 0, 1, -1), num_space=2, num_time=4
+        )
+        assert partitions.total_entries == 25
+        for (space_idx, time_idx), block in partitions.blocks.items():
+            tlo, thi = partitions.time_bounds[time_idx]
+            for (i, j), _v in block:
+                assert tlo <= i - j < thi
+
+    def test_interchange_keeps_counts(self):
+        partitions = partition_transformed(
+            self._entries(), interchange(2, 0, 1), num_space=2, num_time=2
+        )
+        assert partitions.size_matrix().sum() == 25
+
+
+class TestSparseObjectCheckpoints:
+    def test_numpy_array_values_roundtrip(self, tmp_path):
+        # LDA's assignments array stores numpy int arrays as values.
+        array = DistArray.from_entries(
+            [((0, 1), np.array([2, 0, 1])), ((1, 0), np.array([1]))],
+            name="obj_sparse",
+            shape=(2, 2),
+        ).materialize()
+        path = str(tmp_path / "obj.ckpt")
+        array.checkpoint(path)
+        restored = DistArray.load_checkpoint(path)
+        assert np.array_equal(restored[(0, 1)], np.array([2, 0, 1]))
+        assert np.array_equal(restored[(1, 0)], np.array([1]))
+
+    def test_tuple_values_roundtrip(self, tmp_path):
+        # SLR samples store (features, label) tuples.
+        array = DistArray.from_entries(
+            [((0,), ([(3, 1.0)], 1))], name="tup_sparse", shape=(1,)
+        ).materialize()
+        path = str(tmp_path / "tup.ckpt")
+        array.checkpoint(path)
+        restored = DistArray.load_checkpoint(path)
+        assert restored[(0,)] == ([(3, 1.0)], 1)
+
+
+class TestBufferUsagePatterns:
+    def test_plain_assignment_is_the_supported_write(self):
+        target = DistArray.zeros(4, name="bp_target").materialize()
+        buffer = DistArrayBuffer(target)
+        buffer[1] = 2.0
+        buffer[1] = 3.0  # merges via the combiner
+        buffer.flush_all()
+        assert target[(1,)] == 5.0
+
+    def test_augmented_assignment_on_empty_slot_fails_loudly(self):
+        # `buf[i] += v` reads the pending value (None on an empty slot):
+        # buffers are write-back queues, not readable caches.  The failure
+        # mode is an immediate TypeError, not silent corruption.
+        target = DistArray.zeros(4, name="bp_target2").materialize()
+        buffer = DistArrayBuffer(target)
+        with pytest.raises(TypeError):
+            buffer[1] += 2.0
+
+
+class TestLoaderRoundTripProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.tuples(st.integers(0, 99), st.integers(0, 99)),
+                st.floats(-1e6, 1e6, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=20,
+            unique_by=lambda e: e[0],
+        )
+    )
+    def test_ratings_roundtrip(self, entries, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("rt") / "r.txt")
+        write_ratings_file(path, entries)
+        with open(path) as handle:
+            parsed = [parse_ratings_line(line) for line in handle]
+        assert len(parsed) == len(entries)
+        for (key, value), (pkey, pvalue) in zip(entries, parsed):
+            assert pkey == key
+            assert pvalue == pytest.approx(value, rel=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        samples=st.lists(
+            st.tuples(
+                st.lists(
+                    st.tuples(st.integers(0, 50), st.floats(-10, 10,
+                                                            allow_nan=False)),
+                    min_size=1,
+                    max_size=5,
+                ),
+                st.integers(0, 1),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_libsvm_roundtrip(self, samples, tmp_path_factory):
+        entries = [((i,), sample) for i, sample in enumerate(samples)]
+        path = str(tmp_path_factory.mktemp("lt") / "s.txt")
+        write_libsvm_file(path, entries)
+        with open(path) as handle:
+            parsed = [parse_libsvm_line(line) for line in handle]
+        for (key, (features, label)), (pkey, (pfeat, plabel)) in zip(
+            entries, parsed
+        ):
+            assert pkey == key
+            assert plabel == label
+            assert [f for f, _v in pfeat] == [f for f, _v in features]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.tuples(st.integers(0, 20)),
+                st.one_of(
+                    st.floats(-100, 100, allow_nan=False),
+                    st.text(max_size=10),
+                    st.lists(st.integers(-5, 5), max_size=4),
+                ),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_json_roundtrip(self, entries, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("jt") / "j.txt")
+        write_json_lines(path, entries)
+        with open(path) as handle:
+            parsed = [parse_json_line(line) for line in handle]
+        for (key, value), (pkey, pvalue) in zip(entries, parsed):
+            assert pkey == key
+            if isinstance(value, float):
+                assert pvalue == pytest.approx(value)
+            else:
+                assert pvalue == value

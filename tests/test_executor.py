@@ -1,0 +1,282 @@
+"""Integration tests for the Orion executor (repro.runtime.executor)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.loop_info import analyze_loop_body
+from repro.analysis.strategy import Plan, Strategy, choose_plan
+from repro.core.buffers import DistArrayBuffer
+from repro.core.distarray import DistArray
+from repro.errors import ExecutionError
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.executor import OrionExecutor, indices_overlap
+
+
+def _cluster(machines=2, workers=2):
+    return ClusterSpec(num_machines=machines, workers_per_machine=workers)
+
+
+def _ratings(rows=12, cols=10, seed=0):
+    rng = np.random.default_rng(seed)
+    entries = [
+        ((i, j), float(rng.standard_normal()))
+        for i in range(rows)
+        for j in range(cols)
+        if rng.random() < 0.6
+    ]
+    return DistArray.from_entries(
+        entries, name="ratings_e", shape=(rows, cols)
+    ).materialize()
+
+
+class TestIndicesOverlap:
+    def test_points(self):
+        assert indices_overlap((("pt", 1),), (("pt", 1),))
+        assert not indices_overlap((("pt", 1),), (("pt", 2),))
+
+    def test_point_in_range(self):
+        assert indices_overlap((("range", 0, 5),), (("pt", 3),))
+        assert not indices_overlap((("range", 0, 5),), (("pt", 5),))
+
+    def test_open_range_matches_all(self):
+        assert indices_overlap((("range", None, None),), (("pt", 99),))
+
+    def test_ranges(self):
+        assert indices_overlap((("range", 0, 5),), (("range", 4, 9),))
+        assert not indices_overlap((("range", 0, 5),), (("range", 5, 9),))
+
+    def test_multi_axis_all_must_overlap(self):
+        a = (("pt", 1), ("range", None, None))
+        b = (("pt", 2), ("pt", 0))
+        assert not indices_overlap(a, b)
+
+    def test_arity_mismatch_disjoint(self):
+        assert not indices_overlap((("pt", 1),), (("pt", 1), ("pt", 2)))
+
+
+def _mf_executor(cluster, ordered=False, validate=True, **opts):
+    ratings = _ratings()
+    W = DistArray.randn(3, 12, name="W_e", seed=1, scale=0.1).materialize()
+    H = DistArray.randn(3, 10, name="H_e", seed=2, scale=0.1).materialize()
+    step = 0.05
+
+    def body(key, value):
+        w = W[:, key[0]]
+        h = H[:, key[1]]
+        diff = value - w @ h
+        W[:, key[0]] = w + step * diff * h
+        H[:, key[1]] = h + step * diff * w
+
+    info = analyze_loop_body(body, ratings, ordered=ordered)
+    plan = choose_plan(info)
+    executor = OrionExecutor(
+        body, info, plan, cluster, validate=validate, **opts
+    )
+    return executor, (ratings, W, H)
+
+
+class TestTwoDExecution:
+    def test_epoch_runs_and_validates(self):
+        executor, _arrays = _mf_executor(_cluster())
+        result = executor.run_epoch()
+        assert result.epoch_time_s > 0
+        assert result.num_tasks == executor.num_workers * executor.num_time
+
+    def test_all_entries_processed_once(self):
+        executor, (ratings, _W, _H) = _mf_executor(_cluster())
+        assert executor.partitions.total_entries == ratings.num_entries
+
+    def test_rotation_traffic_recorded(self):
+        executor, _ = _mf_executor(_cluster())
+        result = executor.run_epoch()
+        kinds = {kind for _s, _e, _b, kind in result.events}
+        assert "rotation" in kinds
+        assert executor.rotated_block_bytes > 0
+
+    def test_unordered_faster_than_ordered(self):
+        slow_net_cluster = ClusterSpec(
+            num_machines=2,
+            workers_per_machine=2,
+        )
+        unordered, _ = _mf_executor(slow_net_cluster, ordered=False)
+        ordered, _ = _mf_executor(slow_net_cluster, ordered=True)
+        t_unordered = unordered.run_epoch().epoch_time_s
+        t_ordered = ordered.run_epoch().epoch_time_s
+        assert t_ordered > t_unordered
+
+    def test_updates_actually_applied(self):
+        executor, (_ratings, W, H) = _mf_executor(_cluster())
+        before_w = W.values.copy()
+        executor.run_epoch()
+        assert not np.array_equal(W.values, before_w)
+
+    def test_worker_clamping_small_space(self):
+        # 12 rows but 64 requested workers: clamped to the extent.
+        executor, _ = _mf_executor(_cluster(machines=8, workers=8))
+        assert executor.num_workers <= 12
+        executor.run_epoch()  # still validates
+
+    def test_multiple_epochs_progress_loss(self):
+        executor, (ratings, W, H) = _mf_executor(_cluster())
+
+        def loss():
+            total = 0.0
+            for (i, j), v in ratings.entries():
+                total += (v - W.values[:, i] @ H.values[:, j]) ** 2
+            return total
+
+        first = loss()
+        for _ in range(4):
+            executor.run_epoch()
+        assert loss() < first
+
+
+class TestSerializabilityValidation:
+    def test_bogus_plan_caught(self):
+        # Claim 1D over dim 0 while the body writes a column keyed by dim 1:
+        # same-step workers then write overlapping H columns.
+        ratings = _ratings()
+        H = DistArray.randn(3, 10, name="H_bogus", seed=3).materialize()
+
+        def body(key, value):
+            H[:, key[1]] = H[:, key[1]] + value
+
+        info = analyze_loop_body(body, ratings)
+        honest = choose_plan(info)
+        assert honest.strategy is Strategy.ONE_D
+        assert honest.space_dim == 1
+        bogus = Plan(
+            strategy=Strategy.ONE_D,
+            ordered=False,
+            space_dim=0,
+            placements=honest.placements,
+        )
+        executor = OrionExecutor(
+            body, info, bogus, _cluster(), validate=True
+        )
+        with pytest.raises(ExecutionError, match="serializability"):
+            executor.run_epoch()
+
+    def test_honest_plan_passes(self):
+        ratings = _ratings()
+        H = DistArray.randn(3, 10, name="H_honest", seed=3).materialize()
+
+        def body(key, value):
+            H[:, key[1]] = H[:, key[1]] + value
+
+        info = analyze_loop_body(body, ratings)
+        plan = choose_plan(info)
+        executor = OrionExecutor(body, info, plan, _cluster(), validate=True)
+        executor.run_epoch()
+
+
+class TestBuffersInExecution:
+    def _slr_executor(self, cluster, **opts):
+        rng = np.random.default_rng(4)
+        entries = [
+            ((i,), ([(int(rng.integers(0, 30)), 1.0) for _ in range(3)], 1))
+            for i in range(40)
+        ]
+        samples = DistArray.from_entries(
+            entries, name="samples_e", shape=(40,)
+        ).materialize()
+        weights = DistArray.zeros(30, name="weights_e").materialize()
+        buf = DistArrayBuffer(weights, name="buf_e")
+
+        def body(key, sample):
+            features, label = sample
+            margin = 0.0
+            for fid, fval in features:
+                margin = margin + weights[fid] * fval
+            for fid, fval in features:
+                buf[fid] = 0.1 * fval
+
+        info = analyze_loop_body(body, samples)
+        plan = choose_plan(info)
+        executor = OrionExecutor(body, info, plan, cluster, **opts)
+        return executor, weights, buf
+
+    def test_buffers_flushed_after_epoch(self):
+        executor, weights, buf = self._slr_executor(_cluster())
+        executor.run_epoch()
+        assert buf.pending_count() == 0
+        assert np.abs(weights.values).sum() > 0
+
+    def test_flush_traffic_recorded(self):
+        executor, _w, _b = self._slr_executor(_cluster())
+        result = executor.run_epoch()
+        kinds = {kind for _s, _e, _b2, kind in result.events}
+        assert "flush" in kinds
+
+    def test_prefetch_traffic_recorded(self):
+        executor, _w, _b = self._slr_executor(_cluster())
+        assert executor.prefetch.prefetch_fn is not None
+        result = executor.run_epoch()
+        kinds = {kind for _s, _e, _b2, kind in result.events}
+        assert "prefetch" in kinds
+
+    def test_no_prefetch_much_slower(self):
+        with_prefetch, _w, _b = self._slr_executor(_cluster(), prefetch="auto")
+        without, _w2, _b2 = self._slr_executor(_cluster(), prefetch="none")
+        t_with = with_prefetch.run_epoch().epoch_time_s
+        t_without = without.run_epoch().epoch_time_s
+        # Per-read round trips dominate: the paper's 7682 s vs 9.2 s effect.
+        assert t_without > 5 * t_with
+
+    def test_cached_prefetch_faster_second_epoch(self):
+        executor, _w, _b = self._slr_executor(
+            _cluster(), prefetch="auto", cache_prefetch=True
+        )
+        first = executor.run_epoch().epoch_time_s
+        second = executor.run_epoch().epoch_time_s
+        assert second < first
+
+    def test_bad_prefetch_mode_rejected(self):
+        with pytest.raises(ExecutionError):
+            self._slr_executor(_cluster(), prefetch="sometimes")
+
+
+class TestUnimodularExecution:
+    def test_diagonal_dependence_executes(self):
+        entries = [((i, j), 1.0) for i in range(6) for j in range(6)]
+        space = DistArray.from_entries(
+            entries, name="sp_uni", shape=(6, 6)
+        ).materialize()
+        grid = DistArray.zeros(6, 6, name="grid_uni").materialize()
+
+        def body(key, value):
+            left = grid.values[key[0], key[1] - 1] if key[1] > 0 else 0.0
+            diag = grid[key[0] - 1, key[1] - 1] if min(key) > 0 else 0.0
+            grid[key[0], key[1]] = left + diag + 1.0
+
+        # Direct analysis of this body sees conditionals; use the plain
+        # stencil body for the plan and this guarded body for execution.
+        def plan_body(key, value):
+            left = grid[key[0], key[1] - 1]
+            diag = grid[key[0] - 1, key[1] - 1]
+            grid[key[0], key[1]] = 0.5 * (left + diag)
+
+        info = analyze_loop_body(plan_body, space, ordered=True)
+        plan = choose_plan(info)
+        assert plan.strategy is Strategy.TWO_D_UNIMODULAR
+        executor = OrionExecutor(plan_body, info, plan, _cluster())
+        result = executor.run_epoch()
+        assert result.epoch_time_s > 0
+        assert result.num_tasks > 0
+
+
+class TestEmptySpace:
+    def test_empty_iteration_space_raises(self):
+        space = DistArray.from_entries(
+            [((0,), 1.0)], name="sp_one", shape=(4,)
+        ).materialize()
+        space._entries.clear()
+        vec = DistArray.zeros(4, name="vec_e2").materialize()
+
+        def body(key, value):
+            vec[key[0]] = value
+
+        info = analyze_loop_body(body, space)
+        plan = choose_plan(info)
+        with pytest.raises(ExecutionError):
+            OrionExecutor(body, info, plan, _cluster())

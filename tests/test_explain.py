@@ -1,0 +1,77 @@
+"""Tests for the Fig. 6-style compilation report (repro.analysis.explain)."""
+
+import pytest
+
+from repro.apps import MFHyper, build_sgd_mf, build_slr
+from repro.apps.slr import SLRHyper
+from repro.data import netflix_like, sparse_classification
+from repro.runtime.cluster import ClusterSpec
+
+
+@pytest.fixture(scope="module")
+def mf_report():
+    dataset = netflix_like(num_rows=40, num_cols=30, num_ratings=600, seed=51)
+    program = build_sgd_mf(
+        dataset,
+        cluster=ClusterSpec(num_machines=2, workers_per_machine=2),
+        hyper=MFHyper(rank=4),
+    )
+    return program.train_loop.explain()
+
+
+@pytest.fixture(scope="module")
+def slr_report():
+    dataset = sparse_classification(
+        num_samples=80, num_features=50, nnz_per_sample=4, seed=53
+    )
+    program = build_slr(
+        dataset,
+        cluster=ClusterSpec(num_machines=1, workers_per_machine=2),
+        hyper=SLRHyper(),
+    )
+    return program.train_loop.explain()
+
+
+class TestMFReport:
+    def test_sections_present(self, mf_report):
+        for heading in (
+            "Loop information",
+            "Dependence vectors (Alg. 2)",
+            "Partitioning & schedule (Sec. 4.3)",
+            "DistArray placements (Sec. 4.4)",
+        ):
+            assert heading in mf_report
+
+    def test_loop_information(self, mf_report):
+        assert "iteration space: ratings" in mf_report
+        assert "unordered" in mf_report
+        assert "W[:, key[0]]" in mf_report
+        assert "H[:, key[1]]" in mf_report
+        assert "step_size" in mf_report
+
+    def test_dependence_vectors_like_fig6(self, mf_report):
+        assert "W: (0, +inf)" in mf_report
+        assert "H: (+inf, 0)" in mf_report
+
+    def test_strategy_and_candidates(self, mf_report):
+        assert "2D unordered" in mf_report
+        assert "2D candidate orientations" in mf_report
+
+    def test_placements(self, mf_report):
+        assert "W: local" in mf_report
+        assert "H: rotated" in mf_report
+
+
+class TestSLRReport:
+    def test_buffered_writes_listed(self, slr_report):
+        assert "buffered writes (exempt from analysis)" in slr_report
+
+    def test_data_parallel_strategy(self, slr_report):
+        assert "data parallelism" in slr_report
+
+    def test_server_placement(self, slr_report):
+        assert "weights: server" in slr_report
+
+    def test_weight_reads_independent(self, slr_report):
+        assert "weights: (independent)" in slr_report
+        assert "weights[?] (read)" in slr_report

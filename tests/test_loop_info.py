@@ -1,0 +1,273 @@
+"""Unit tests for loop-body static analysis (repro.analysis.loop_info)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.loop_info import analyze_loop_body
+from repro.analysis.subscript import SubscriptKind
+from repro.core.accumulator import Accumulator
+from repro.core.buffers import DistArrayBuffer
+from repro.core.distarray import DistArray
+from repro.errors import AnalysisError
+
+
+def _iter_space_2d(shape=(6, 5)):
+    entries = [((i, j), 1.0) for i in range(shape[0]) for j in range(shape[1])]
+    return DistArray.from_entries(entries, name="space", shape=shape).materialize()
+
+
+def _iter_space_1d(extent=8):
+    entries = [((i,), float(i)) for i in range(extent)]
+    return DistArray.from_entries(entries, name="space1", shape=(extent,)).materialize()
+
+
+W = DistArray.randn(3, 6, name="Wg", seed=0).materialize()
+H = DistArray.randn(3, 5, name="Hg", seed=1).materialize()
+
+
+class TestReferenceExtraction:
+    def test_mf_reads_and_writes(self):
+        space = _iter_space_2d()
+        step = 0.1
+
+        def body(key, value):
+            w = W[:, key[0]]
+            h = H[:, key[1]]
+            W[:, key[0]] = w - step * h
+            H[:, key[1]] = h - step * w
+
+        info = analyze_loop_body(body, space)
+        assert set(info.refs) == {"W", "H"}
+        w_refs = info.refs["W"]
+        assert sum(r.is_write for r in w_refs) == 1
+        assert sum(r.is_read for r in w_refs) == 1
+        read = next(r for r in w_refs if r.is_read)
+        assert read.axes[0].kind is SubscriptKind.SLICE_ALL
+        assert read.axes[1].kind is SubscriptKind.INDEX
+        assert read.axes[1].dim_idx == 0
+
+    def test_tuple_unpacking_alias(self):
+        space = _iter_space_2d()
+
+        def body(key, value):
+            i, j = key
+            W[:, i] = W[:, i] * 0.5
+            H[:, j] = H[:, j] * 0.5
+
+        info = analyze_loop_body(body, space)
+        w_write = next(r for r in info.refs["W"] if r.is_write)
+        assert w_write.axes[1].dim_idx == 0
+        h_write = next(r for r in info.refs["H"] if r.is_write)
+        assert h_write.axes[1].dim_idx == 1
+
+    def test_derived_alias_with_offset(self):
+        space = _iter_space_2d()
+
+        def body(key, value):
+            shifted = key[0] + 1
+            W[:, shifted] = W[:, shifted] * 0.9
+
+        info = analyze_loop_body(body, space)
+        write = next(r for r in info.refs["W"] if r.is_write)
+        assert (write.axes[1].dim_idx, write.axes[1].const) == (0, 1)
+
+    def test_reassigned_alias_conservative(self):
+        space = _iter_space_2d()
+
+        def body(key, value):
+            i = key[0]
+            i = i * 2  # no longer a plain loop-index alias
+            W[:, i] = W[:, i] + 1.0
+
+        info = analyze_loop_body(body, space)
+        write = next(r for r in info.refs["W"] if r.is_write)
+        assert write.axes[1].kind is SubscriptKind.UNKNOWN
+
+    def test_augassign_counts_as_read_and_write(self):
+        space = _iter_space_1d(6)
+        vec = DistArray.zeros(6, name="vec").materialize()
+
+        def body(key, value):
+            vec[key[0]] += value
+
+        info = analyze_loop_body(body, space)
+        refs = info.refs["vec"]
+        assert sum(r.is_write for r in refs) == 1
+        assert sum(r.is_read for r in refs) == 1
+
+    def test_whole_key_subscript(self):
+        space = _iter_space_2d((4, 4))
+        zs = DistArray.from_entries(
+            [((i, j), 0.0) for i in range(4) for j in range(4)],
+            name="zs", shape=(4, 4),
+        ).materialize()
+
+        def body(key, value):
+            zs[key] = zs[key] + 1.0
+
+        info = analyze_loop_body(body, space)
+        write = next(r for r in info.refs["zs"] if r.is_write)
+        assert all(a.kind is SubscriptKind.INDEX for a in write.axes)
+        assert [a.dim_idx for a in write.axes] == [0, 1]
+
+    def test_whole_key_dim_mismatch_raises(self):
+        space = _iter_space_1d(4)
+        grid = DistArray.zeros(4, 4, name="grid").materialize()
+
+        def body(key, value):
+            grid[key] = 0.0
+
+        with pytest.raises(AnalysisError):
+            analyze_loop_body(body, space)
+
+    def test_value_derived_subscript_unknown(self):
+        space = _iter_space_1d(6)
+        weights = DistArray.zeros(20, name="weights").materialize()
+
+        def body(key, value):
+            weights[int(value)] = 1.0
+
+        info = analyze_loop_body(body, space)
+        write = next(r for r in info.refs["weights"] if r.is_write)
+        assert write.axes[0].kind is SubscriptKind.UNKNOWN
+
+
+class TestBuffersAccumulatorsInherited:
+    def test_buffer_writes_separated(self):
+        space = _iter_space_1d(6)
+        weights = DistArray.zeros(20, name="weights").materialize()
+        buf = DistArrayBuffer(weights, name="buf")
+
+        def body(key, value):
+            buf[key[0]] = value
+
+        info = analyze_loop_body(body, space)
+        assert "buf" in info.buffers
+        assert "buf" in info.buffer_refs
+        assert info.buffer_refs["buf"][0].buffered
+        assert "weights" not in info.refs  # only touched via the buffer
+
+    def test_buffer_arity_mismatch_raises(self):
+        space = _iter_space_1d(6)
+        grid = DistArray.zeros(4, 4, name="grid").materialize()
+        buf = DistArrayBuffer(grid, name="gridbuf")
+
+        def body(key, value):
+            buf[key[0]] = value  # target is 2-D
+
+        with pytest.raises(AnalysisError):
+            analyze_loop_body(body, space)
+
+    def test_accumulator_detection(self):
+        space = _iter_space_1d(6)
+        err = Accumulator("err", 0.0)
+
+        def body(key, value):
+            err.add(value * value)
+
+        info = analyze_loop_body(body, space)
+        assert info.accumulators == {"err"}
+
+    def test_inherited_variables(self):
+        space = _iter_space_1d(6)
+        vec = DistArray.zeros(6, name="vec").materialize()
+        step = 0.25
+        offset = 1.0
+
+        def body(key, value):
+            vec[key[0]] = step * value + offset
+
+        info = analyze_loop_body(body, space)
+        assert info.inherited == {"step": 0.25, "offset": 1.0}
+
+    def test_numpy_module_not_inherited(self):
+        space = _iter_space_1d(6)
+        vec = DistArray.zeros(6, name="vec").materialize()
+
+        def body(key, value):
+            vec[key[0]] = np.exp(value)
+
+        info = analyze_loop_body(body, space)
+        assert "np" not in info.inherited
+
+    def test_locals_not_inherited(self):
+        space = _iter_space_1d(6)
+        vec = DistArray.zeros(6, name="vec").materialize()
+
+        def body(key, value):
+            local = value * 2
+            vec[key[0]] = local
+
+        info = analyze_loop_body(body, space)
+        assert "local" not in info.inherited
+
+
+class TestPlacementHelpers:
+    def test_pinned_array_dim(self):
+        space = _iter_space_2d()
+
+        def body(key, value):
+            W[:, key[0]] = W[:, key[0]] * 0.5
+
+        info = analyze_loop_body(body, space)
+        assert info.pinned_array_dim("W", 0) == 1
+        assert info.pinned_array_dim("W", 1) is None
+
+    def test_pinned_requires_every_ref(self):
+        space = _iter_space_2d()
+
+        def body(key, value):
+            a = W[:, key[0]]
+            b = W[0, 2]  # a second ref that is not pinned by key[0]
+            W[:, key[0]] = a + b
+
+        info = analyze_loop_body(body, space)
+        assert info.pinned_array_dim("W", 0) is None
+
+    def test_written_arrays(self):
+        space = _iter_space_2d()
+
+        def body(key, value):
+            H[:, key[1]] = W[:, key[0]]
+
+        info = analyze_loop_body(body, space)
+        assert info.written_arrays() == {"H"}
+
+    def test_arrays_with_unknown_subscripts(self):
+        space = _iter_space_1d(6)
+        weights = DistArray.zeros(20, name="weights").materialize()
+
+        def body(key, value):
+            weights[int(value)] = weights[int(value)] + 1.0
+
+        info = analyze_loop_body(body, space)
+        assert info.arrays_with_unknown_subscripts() == {"weights"}
+
+
+class TestErrors:
+    def test_unmaterialized_iteration_space_raises(self):
+        space = DistArray.from_entries([((0,), 1.0)], name="lazy", shape=(1,))
+
+        def body(key, value):
+            return value
+
+        with pytest.raises(AnalysisError):
+            analyze_loop_body(body, space)
+
+    def test_zero_parameter_body_raises(self):
+        space = _iter_space_1d(3)
+
+        def body():
+            return None
+
+        with pytest.raises(AnalysisError):
+            analyze_loop_body(body, space)
+
+    def test_subscript_arity_mismatch_raises(self):
+        space = _iter_space_1d(3)
+
+        def body(key, value):
+            return W[key[0]]  # W is 2-D
+
+        with pytest.raises(AnalysisError):
+            analyze_loop_body(body, space)

@@ -1,0 +1,104 @@
+"""Direct tests for small public helpers exercised only indirectly elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gbt import GBTHyper, gbt_cost_model
+from repro.apps.lda import lda_log_likelihood
+from repro.apps.slr import SLRHyper, slr_cost_model
+from repro.core import access
+from repro.core.buffers import default_apply
+from repro.core.distarray import key_value_entries
+from repro.errors import (
+    AnalysisError,
+    DependenceError,
+    ExecutionError,
+    ParallelizationError,
+    ReproError,
+    SubscriptError,
+)
+
+
+class TestErrorHierarchy:
+    def test_every_library_error_is_a_repro_error(self):
+        for error_type in (
+            AnalysisError,
+            DependenceError,
+            ExecutionError,
+            ParallelizationError,
+            SubscriptError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_single_except_clause_catches_all(self):
+        try:
+            raise ParallelizationError("nope")
+        except ReproError as caught:
+            assert "nope" in str(caught)
+
+
+class TestWorkerContext:
+    def test_defaults(self):
+        assert access.current_broker() is None
+        assert access.current_worker() == access.DRIVER_WORKER
+
+    def test_nested_worker_scopes(self):
+        with access.worker_scope(1):
+            assert access.current_worker() == 1
+            with access.worker_scope(2):
+                assert access.current_worker() == 2
+            assert access.current_worker() == 1
+        assert access.current_worker() == access.DRIVER_WORKER
+
+    def test_broker_installed_and_restored(self):
+        broker = access.AccessBroker()
+        with access.install_broker(broker):
+            assert access.current_broker() is broker
+        assert access.current_broker() is None
+
+
+class TestSmallHelpers:
+    def test_key_value_entries_sorted(self):
+        entries = key_value_entries({(1, 0): "b", (0, 1): "a"})
+        assert entries == [((0, 1), "a"), ((1, 0), "b")]
+
+    def test_default_apply_adds(self):
+        assert default_apply(2.0, 3.0) == 5.0
+        assert np.array_equal(
+            default_apply(np.ones(2), np.ones(2)), np.full(2, 2.0)
+        )
+
+
+class TestCostModelHelpers:
+    def test_slr_adarev_costlier(self):
+        plain = slr_cost_model(SLRHyper())
+        ada = slr_cost_model(SLRHyper(adarev=True))
+        assert ada.entry_cost_s > plain.entry_cost_s
+
+    def test_gbt_cost_scales_with_features_and_depth(self):
+        shallow = gbt_cost_model(GBTHyper(max_depth=2), num_features=4)
+        deep = gbt_cost_model(GBTHyper(max_depth=4), num_features=8)
+        assert deep.entry_cost_s == pytest.approx(4 * shallow.entry_cost_s)
+
+
+class TestLdaLikelihood:
+    def test_peaked_counts_beat_uniform(self):
+        # A model whose counts concentrate on the actually-used topic/word
+        # pairs scores higher likelihood than a flat one.
+        entries = [((0, 0), 3), ((1, 1), 3)]
+        peaked_dt = np.array([[3.0, 0.0], [0.0, 3.0]])
+        peaked_wt = np.array([[3.0, 0.0], [0.0, 3.0]])
+        flat_dt = np.full((2, 2), 1.5)
+        flat_wt = np.full((2, 2), 1.5)
+        good = lda_log_likelihood(peaked_dt, peaked_wt, entries, 0.01, 0.01)
+        flat = lda_log_likelihood(flat_dt, flat_wt, entries, 0.01, 0.01)
+        assert good > flat
+
+    def test_per_token_normalization(self):
+        entries_small = [((0, 0), 1)]
+        entries_big = [((0, 0), 10)]
+        dt = np.array([[5.0, 1.0]])
+        wt = np.array([[5.0, 1.0], [1.0, 5.0]])
+        small = lda_log_likelihood(dt, wt, entries_small, 0.5, 0.1)
+        big = lda_log_likelihood(dt, wt, entries_big, 0.5, 0.1)
+        assert small == pytest.approx(big)

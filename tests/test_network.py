@@ -1,0 +1,85 @@
+"""Unit tests for the network model and traffic log (repro.runtime.network)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.network import NetworkModel, TrafficLog
+
+
+class TestNetworkModel:
+    def test_transfer_time_components(self):
+        net = NetworkModel(bandwidth_bytes_per_s=1e6, latency_s=0.01)
+        assert net.transfer_time(1e6) == pytest.approx(0.01 + 1.0)
+
+    def test_intra_machine_discount(self):
+        net = NetworkModel(
+            bandwidth_bytes_per_s=1e6, latency_s=0.01, intra_machine_factor=0.5
+        )
+        assert net.transfer_time(1e6, intra_machine=True) == pytest.approx(
+            0.5 * (0.01 + 1.0)
+        )
+
+    def test_zero_intra_factor_models_pointer_swap(self):
+        net = NetworkModel(intra_machine_factor=0.0)
+        assert net.transfer_time(1e9, intra_machine=True) == 0.0
+
+    def test_random_access_pays_latency_per_request(self):
+        net = NetworkModel(bandwidth_bytes_per_s=1e9, latency_s=1e-3)
+        bulk = net.transfer_time(8000)
+        scattered = net.random_access_time(1000, 8000)
+        # 1000 round trips vs one: the bulk-prefetch motivation.
+        assert scattered > 100 * bulk
+
+    def test_default_is_40gbps(self):
+        net = NetworkModel()
+        assert net.bandwidth_bytes_per_s == pytest.approx(5e9)
+
+
+class TestTrafficLog:
+    def test_total_bytes(self):
+        log = TrafficLog()
+        log.record(0.0, 1.0, 100, "a")
+        log.record(1.0, 2.0, 200, "b")
+        assert log.total_bytes == 300
+
+    def test_bytes_by_kind(self):
+        log = TrafficLog()
+        log.record(0.0, 1.0, 100, "rotation")
+        log.record(0.0, 1.0, 50, "rotation")
+        log.record(0.0, 1.0, 70, "flush")
+        assert log.bytes_by_kind() == {"rotation": 150.0, "flush": 70.0}
+
+    def test_inverted_span_clamped(self):
+        log = TrafficLog()
+        log.record(2.0, 1.0, 10, "x")
+        assert log.events[0].t_end == 2.0
+
+    def test_empty_series(self):
+        times, mbps = TrafficLog().bandwidth_series(1.0)
+        assert times.size == 0 and mbps.size == 0
+
+    def test_series_conserves_bytes(self):
+        log = TrafficLog()
+        log.record(0.0, 2.0, 1_000_000, "x")
+        log.record(1.5, 3.5, 500_000, "y")
+        times, mbps = log.bandwidth_series(0.5)
+        total_bits = float(np.sum(mbps * 1e6 * 0.5))
+        assert total_bits == pytest.approx(1_500_000 * 8, rel=1e-6)
+
+    def test_series_rate_value(self):
+        log = TrafficLog()
+        log.record(0.0, 1.0, 1_000_000, "x")  # 8 Mb over 1 s
+        _times, mbps = log.bandwidth_series(1.0)
+        assert mbps[0] == pytest.approx(8.0)
+
+    def test_series_spreads_over_span(self):
+        log = TrafficLog()
+        log.record(0.0, 2.0, 2_000_000, "x")
+        _times, mbps = log.bandwidth_series(1.0)
+        assert mbps[0] == pytest.approx(mbps[1])
+
+    def test_series_horizon_extends_axis(self):
+        log = TrafficLog()
+        log.record(0.0, 1.0, 8, "x")
+        times, _ = log.bandwidth_series(1.0, horizon_s=5.0)
+        assert len(times) == 5

@@ -1,0 +1,98 @@
+"""Unit tests for adaptive-gradient optimizers (repro.apps.optimizers)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.optimizers import AdaGrad, AdaRevision, sgd_step
+
+
+class TestSGDStep:
+    def test_direction(self):
+        param = np.array([1.0, 2.0])
+        grad = np.array([1.0, -1.0])
+        out = sgd_step(param, grad, 0.5)
+        assert np.allclose(out, [0.5, 2.5])
+
+    def test_not_in_place(self):
+        param = np.array([1.0])
+        sgd_step(param, np.array([1.0]), 0.1)
+        assert param[0] == 1.0
+
+
+class TestAdaGrad:
+    def test_accumulator_grows(self):
+        opt = AdaGrad(step_size=1.0)
+        acc = np.zeros(2)
+        opt.step(acc, np.array([2.0, 3.0]))
+        assert np.allclose(acc, [4.0, 9.0])
+
+    def test_step_shrinks_with_history(self):
+        opt = AdaGrad(step_size=1.0)
+        acc = np.zeros(1)
+        first = opt.step(acc, np.array([1.0]))
+        second = opt.step(acc, np.array([1.0]))
+        assert abs(second[0]) < abs(first[0])
+
+    def test_per_coordinate_adaptivity(self):
+        opt = AdaGrad(step_size=1.0)
+        acc = np.zeros(2)
+        opt.step(acc, np.array([10.0, 0.1]))
+        update = opt.step(acc, np.array([1.0, 1.0]))
+        # The frequently-large coordinate gets a smaller effective step.
+        assert abs(update[0]) < abs(update[1])
+
+    def test_opposes_gradient(self):
+        opt = AdaGrad(step_size=0.5)
+        acc = np.zeros(2)
+        update = opt.step(acc, np.array([1.0, -2.0]))
+        assert update[0] < 0 < update[1]
+
+
+class TestAdaRevision:
+    def test_no_staleness_equals_adagrad(self):
+        ada = AdaGrad(step_size=0.7)
+        rev = AdaRevision(step_size=0.7)
+        acc = np.zeros(3)
+        z = np.zeros(3)
+        z2 = np.zeros(3)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            grad = rng.standard_normal(3)
+            expected = ada.step(acc, grad.copy())
+            got = rev.step(z, z2, grad.copy(), z_read=z.copy())
+            assert np.allclose(expected, got)
+
+    def test_z_tracks_gradient_sum(self):
+        rev = AdaRevision()
+        z = np.zeros(2)
+        z2 = np.zeros(2)
+        rev.step(z, z2, np.array([1.0, -1.0]))
+        rev.step(z, z2, np.array([2.0, 0.5]))
+        assert np.allclose(z, [3.0, -0.5])
+
+    def test_delay_correction_shrinks_step(self):
+        # A stale gradient aligned with intervening updates gets a larger
+        # z2 correction, hence a smaller step, than a fresh one.
+        rev = AdaRevision(step_size=1.0)
+        z = np.array([5.0])  # updates applied since the read
+        z2 = np.array([1.0])
+        fresh = rev.step(z.copy(), z2.copy(), np.array([1.0]), z_read=z.copy())
+        stale = rev.step(z.copy(), z2.copy(), np.array([1.0]),
+                         z_read=np.array([0.0]))
+        assert abs(stale[0]) < abs(fresh[0])
+
+    def test_correction_never_negative(self):
+        # Opposing g_bck cannot shrink z2 below the plain-AdaGrad growth
+        # floor of zero increment.
+        rev = AdaRevision()
+        z = np.array([-100.0])
+        z2 = np.array([1.0])
+        rev.step(z, z2, np.array([1.0]), z_read=np.array([0.0]))
+        assert z2[0] >= 1.0
+
+    def test_none_z_read_means_fresh(self):
+        rev = AdaRevision(step_size=1.0)
+        z = np.zeros(1)
+        z2 = np.zeros(1)
+        update = rev.step(z, z2, np.array([2.0]), z_read=None)
+        assert update[0] == pytest.approx(-1.0, rel=1e-3)

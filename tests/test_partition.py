@@ -1,0 +1,170 @@
+"""Unit tests for iteration-space partitioning (repro.runtime.partition)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.unimodular import skew
+from repro.errors import PartitionError
+from repro.runtime import partition as parts
+
+
+class TestEqualBounds:
+    def test_even_split(self):
+        assert parts.equal_bounds(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_uneven_split_covers_everything(self):
+        bounds = parts.equal_bounds(10, 3)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 10
+        for (lo_a, hi_a), (lo_b, _hi_b) in zip(bounds, bounds[1:]):
+            assert hi_a == lo_b
+
+    def test_zero_parts_raises(self):
+        with pytest.raises(PartitionError):
+            parts.equal_bounds(10, 0)
+
+    def test_zero_extent_raises(self):
+        with pytest.raises(PartitionError):
+            parts.equal_bounds(0, 2)
+
+
+class TestBalancedBounds:
+    def test_uniform_counts_behave_like_equal(self):
+        counts = np.ones(8, dtype=np.int64)
+        assert parts.balanced_bounds(counts, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_skewed_counts_get_balanced(self):
+        # 90% of entries on the first coordinate: it gets its own partition.
+        counts = np.array([90, 2, 2, 2, 2, 2])
+        bounds = parts.balanced_bounds(counts, 2)
+        assert bounds[0] == (0, 1)
+        assert bounds[1] == (1, 6)
+
+    def test_balance_quality_on_power_law(self):
+        rng = np.random.default_rng(0)
+        weights = 1.0 / np.arange(1, 101) ** 1.2
+        counts = rng.multinomial(10_000, weights / weights.sum())
+        bounds = parts.balanced_bounds(counts, 8)
+        loads = [counts[lo:hi].sum() for lo, hi in bounds]
+        # Balanced partitioning keeps the max/mean ratio modest even under
+        # a power-law distribution (equal-width would be ~8x here).
+        assert max(loads) / (sum(loads) / len(loads)) < 3.0
+
+    def test_covers_full_extent_contiguously(self):
+        counts = np.array([5, 0, 0, 1, 9, 3, 3, 7])
+        bounds = parts.balanced_bounds(counts, 3)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == len(counts)
+        for (lo_a, hi_a), (lo_b, _b) in zip(bounds, bounds[1:]):
+            assert hi_a == lo_b
+
+    def test_more_parts_than_coords_pads_empty(self):
+        counts = np.array([3, 4])
+        bounds = parts.balanced_bounds(counts, 4)
+        assert bounds[:2] == [(0, 1), (1, 2)]
+        assert bounds[2:] == [(2, 2), (2, 2)]
+
+    def test_all_zero_counts_fall_back_to_equal(self):
+        counts = np.zeros(8, dtype=np.int64)
+        assert parts.balanced_bounds(counts, 2) == [(0, 4), (4, 8)]
+
+    def test_bucket_of(self):
+        bounds = [(0, 3), (3, 7), (7, 10)]
+        assert parts.bucket_of(bounds, 0) == 0
+        assert parts.bucket_of(bounds, 3) == 1
+        assert parts.bucket_of(bounds, 9) == 2
+        with pytest.raises(PartitionError):
+            parts.bucket_of(bounds, 10)
+
+
+def _grid_entries(rows, cols):
+    return [((i, j), float(i * cols + j)) for i in range(rows) for j in range(cols)]
+
+
+class TestPartition1D:
+    def test_every_entry_assigned_once(self):
+        entries = _grid_entries(6, 4)
+        partitions = parts.partition_1d(entries, 0, 6, 3)
+        assert partitions.total_entries == len(entries)
+        assert partitions.num_space == 3
+        assert partitions.num_time == 1
+
+    def test_entries_respect_bounds(self):
+        entries = _grid_entries(6, 4)
+        partitions = parts.partition_1d(entries, 0, 6, 3)
+        for (space_idx, _t), block in partitions.blocks.items():
+            lo, hi = partitions.space_bounds[space_idx]
+            assert all(lo <= key[0] < hi for key, _v in block)
+
+    def test_partition_on_second_dim(self):
+        entries = _grid_entries(4, 6)
+        partitions = parts.partition_1d(entries, 1, 6, 2)
+        for (space_idx, _t), block in partitions.blocks.items():
+            lo, hi = partitions.space_bounds[space_idx]
+            assert all(lo <= key[1] < hi for key, _v in block)
+
+
+class TestPartition2D:
+    def test_grid_blocks(self):
+        entries = _grid_entries(8, 8)
+        partitions = parts.partition_2d(entries, 0, 1, 8, 8, 2, 4)
+        assert partitions.total_entries == 64
+        sizes = partitions.size_matrix()
+        assert sizes.shape == (2, 4)
+        assert sizes.sum() == 64
+
+    def test_blocks_respect_both_bounds(self):
+        entries = _grid_entries(8, 8)
+        partitions = parts.partition_2d(entries, 0, 1, 8, 8, 2, 4)
+        for (space_idx, time_idx), block in partitions.blocks.items():
+            slo, shi = partitions.space_bounds[space_idx]
+            tlo, thi = partitions.time_bounds[time_idx]
+            for key, _value in block:
+                assert slo <= key[0] < shi
+                assert tlo <= key[1] < thi
+
+    def test_balanced_flag_changes_bounds_under_skew(self):
+        rng = np.random.default_rng(1)
+        rows = rng.choice(
+            20, size=500, p=(lambda w: w / w.sum())(1.0 / np.arange(1, 21))
+        )
+        entries = [((int(r), int(i % 10)), 1.0) for i, r in enumerate(rows)]
+        balanced = parts.partition_2d(entries, 0, 1, 20, 10, 4, 4, balance=True)
+        equal = parts.partition_2d(entries, 0, 1, 20, 10, 4, 4, balance=False)
+        balanced_loads = balanced.size_matrix().sum(axis=1)
+        equal_loads = equal.size_matrix().sum(axis=1)
+        assert balanced_loads.max() < equal_loads.max()
+
+    def test_block_lookup_empty_for_missing(self):
+        entries = [((0, 0), 1.0)]
+        partitions = parts.partition_2d(entries, 0, 1, 4, 4, 2, 2)
+        assert partitions.block(1, 1) == []
+        assert partitions.block_size(1, 1) == 0
+
+
+class TestTransformedPartition:
+    def test_skewed_coordinates_bucketed(self):
+        entries = _grid_entries(6, 6)
+        matrix = skew(2, 0, 1, 1)  # q = (i + j, j)
+        partitions = parts.partition_transformed(entries, matrix, 3, 4)
+        assert partitions.total_entries == 36
+        # Time bounds cover the skewed range [0, 11).
+        assert partitions.time_bounds[0][0] == 0
+        assert partitions.time_bounds[-1][1] == 11
+
+    def test_blocks_consistent_with_transform(self):
+        entries = _grid_entries(5, 5)
+        matrix = skew(2, 0, 1, 1)
+        partitions = parts.partition_transformed(entries, matrix, 2, 3)
+        for (space_idx, time_idx), block in partitions.blocks.items():
+            tlo, thi = partitions.time_bounds[time_idx]
+            slo, shi = partitions.space_bounds[space_idx]
+            for key, _value in block:
+                q0 = key[0] + key[1]
+                q1 = key[1]
+                assert tlo <= q0 < thi
+                assert slo <= q1 < shi
+
+    def test_empty_entries_raise(self):
+        with pytest.raises(PartitionError):
+            parts.partition_transformed([], skew(2, 0, 1, 1), 2, 2)

@@ -1,0 +1,341 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+The headline property is *Alg. 2 soundness*: for randomly generated
+reference patterns, every dependence that exists between two concrete
+iterations (brute-forced by evaluating subscripts) must be covered by some
+computed dependence vector.  Missing a dependence would make the executor
+run conflicting iterations concurrently — the one unforgivable bug in an
+auto-parallelizer.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import subscript as sub
+from repro.analysis.depvec import (
+    ANY,
+    NEG,
+    POS,
+    ArrayRef,
+    DepVector,
+    compute_dependence_vectors,
+    entry_is_exact,
+)
+from repro.analysis.unimodular import (
+    find_transformation,
+    invert_unimodular,
+    is_unimodular,
+)
+from repro.runtime.partition import balanced_bounds
+from repro.runtime.schedule import unordered_2d_schedule
+
+# ----------------------------------------------------------------- #
+# Strategies                                                         #
+# ----------------------------------------------------------------- #
+
+ITER_EXTENT = 4  # iteration space is ITER_EXTENT x ITER_EXTENT
+ARRAY_EXTENT = 6
+
+
+def _axis_strategy():
+    return st.one_of(
+        st.integers(0, ARRAY_EXTENT - 1).map(sub.constant),
+        st.tuples(st.integers(0, 1), st.integers(-1, 1)).map(
+            lambda t: sub.index(*t)
+        ),
+        st.just(sub.slice_all()),
+        st.tuples(st.integers(0, 3), st.integers(1, 3)).map(
+            lambda t: sub.const_range(t[0], t[0] + t[1])
+        ),
+        st.just(sub.unknown()),
+    )
+
+
+def _ref_strategy(ndim):
+    return st.tuples(
+        st.tuples(*[_axis_strategy() for _ in range(ndim)]),
+        st.booleans(),
+    ).map(lambda t: ArrayRef("A", t[0], is_write=t[1]))
+
+
+def _axis_values(axis, point):
+    """Concrete array coordinates an axis can address at iteration
+    ``point`` (within small test bounds)."""
+    if axis.kind is sub.SubscriptKind.CONSTANT:
+        return {axis.const}
+    if axis.kind is sub.SubscriptKind.INDEX:
+        return {point[axis.dim_idx] + axis.const}
+    if axis.kind is sub.SubscriptKind.RANGE:
+        return set(range(axis.lo, axis.hi))
+    # SLICE_ALL / UNKNOWN: anything in bounds.
+    return set(range(-2, ARRAY_EXTENT + 2))
+
+
+def _refs_conflict(ref_a, ref_b, point_a, point_b):
+    for axis_a, axis_b in zip(ref_a.axes, ref_b.axes):
+        if not (_axis_values(axis_a, point_a) & _axis_values(axis_b, point_b)):
+            return False
+    return True
+
+
+def _delta_covered(delta, dvec):
+    for value, entry in zip(delta, dvec):
+        if entry is ANY:
+            continue
+        if entry is POS:
+            if value <= 0:
+                return False
+        elif entry is NEG:
+            if value >= 0:
+                return False
+        elif entry_is_exact(entry):
+            if value != entry:
+                return False
+    return True
+
+
+class TestAlg2Soundness:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        refs=st.lists(_ref_strategy(2), min_size=1, max_size=3),
+        unordered=st.booleans(),
+    )
+    def test_every_real_dependence_is_covered(self, refs, unordered):
+        dvecs = compute_dependence_vectors(refs, 2, unordered_loop=unordered)
+        points = [
+            (i, j) for i in range(ITER_EXTENT) for j in range(ITER_EXTENT)
+        ]
+        for a_idx in range(len(points)):
+            for b_idx in range(a_idx + 1, len(points)):
+                p1, p2 = points[a_idx], points[b_idx]
+                delta = (p2[0] - p1[0], p2[1] - p1[1])
+                # Is there a real conflict between iterations p1 and p2?
+                conflict = False
+                for ref_a in refs:
+                    for ref_b in refs:
+                        if ref_a.is_read and ref_b.is_read:
+                            continue
+                        if unordered and ref_a.is_write and ref_b.is_write:
+                            continue
+                        if _refs_conflict(ref_a, ref_b, p1, p2):
+                            conflict = True
+                            break
+                    if conflict:
+                        break
+                if not conflict:
+                    continue
+                assert any(_delta_covered(delta, v) for v in dvecs), (
+                    f"dependence {delta} between {p1} and {p2} not covered "
+                    f"by {[v.describe() for v in dvecs]}"
+                )
+
+
+class TestLexicoPositiveProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            st.one_of(
+                st.integers(-3, 3), st.just(ANY), st.just(POS), st.just(NEG)
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_output_is_lexicographically_positive(self, entries):
+        corrected = DepVector(tuple(entries)).lexico_positive()
+        if corrected is None:
+            assert all(
+                entry_is_exact(e) and e == 0 for e in entries
+            )
+            return
+        # First non-zero entry must be definitely positive or POS.
+        for entry in corrected:
+            if entry_is_exact(entry) and entry == 0:
+                continue
+            assert entry is POS or entry is ANY or (
+                entry_is_exact(entry) and entry > 0
+            )
+            break
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.one_of(st.integers(-3, 3), st.just(POS), st.just(NEG)),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_idempotent(self, entries):
+        once = DepVector(tuple(entries)).lexico_positive()
+        if once is not None:
+            assert once.lexico_positive().entries == once.entries
+
+
+class TestBalancedBoundsProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        counts=st.lists(st.integers(0, 50), min_size=1, max_size=40),
+        num_parts=st.integers(1, 8),
+    )
+    def test_contiguous_cover(self, counts, num_parts):
+        bounds = balanced_bounds(np.array(counts), num_parts)
+        assert len(bounds) == num_parts
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == len(counts) or (
+            len(counts) < num_parts and bounds[-1][1] == len(counts)
+        )
+        position = 0
+        for lo, hi in bounds:
+            assert lo == position
+            assert hi >= lo
+            position = hi
+        assert position == len(counts)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        counts=st.lists(st.integers(0, 50), min_size=8, max_size=40),
+        num_parts=st.integers(2, 4),
+    )
+    def test_no_part_exceeds_total(self, counts, num_parts):
+        array = np.array(counts)
+        bounds = balanced_bounds(array, num_parts)
+        for lo, hi in bounds:
+            assert array[lo:hi].sum() <= array.sum()
+
+
+class TestOverlapProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(a=_axis_strategy(), b=_axis_strategy())
+    def test_symmetry(self, a, b):
+        assert sub.axes_may_overlap(a, b) == sub.axes_may_overlap(b, a)
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=_axis_strategy(), b=_axis_strategy())
+    def test_soundness_against_concrete_values(self, a, b):
+        # If some iteration pair makes the axes address a common coordinate,
+        # axes_may_overlap must say True.
+        points = [(i, j) for i in range(3) for j in range(3)]
+        concrete = any(
+            _axis_values(a, p1) & _axis_values(b, p2)
+            for p1 in points
+            for p2 in points
+        )
+        if concrete:
+            assert sub.axes_may_overlap(a, b)
+
+
+class TestScheduleProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(workers=st.integers(1, 8), depth=st.integers(1, 4))
+    def test_unordered_rotation_invariants(self, workers, depth):
+        num_time = workers * depth
+        steps = unordered_2d_schedule(workers, num_time)
+        assert len(steps) == num_time
+        per_worker = {w: [] for w in range(workers)}
+        for tasks in steps:
+            indices = [t.time_idx for t in tasks]
+            assert len(set(indices)) == len(indices)  # concurrent-disjoint
+            for task in tasks:
+                per_worker[task.worker].append(task.time_idx)
+        for visited in per_worker.values():
+            assert sorted(visited) == list(range(num_time))
+
+
+class TestUnimodularProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        dvecs=st.lists(
+            st.tuples(
+                st.one_of(st.integers(-2, 2), st.just(POS)),
+                st.one_of(st.integers(-2, 2), st.just(POS)),
+            ).map(DepVector),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    def test_found_transform_is_unimodular_and_carries(self, dvecs):
+        normalized = [
+            v.lexico_positive() for v in dvecs if v.lexico_positive()
+        ]
+        if not normalized:
+            return
+        matrix = find_transformation(normalized, 2)
+        if matrix is None:
+            return
+        assert is_unimodular(matrix)
+        inverse = invert_unimodular(matrix)
+        assert np.array_equal(
+            np.array(matrix) @ np.array(inverse), np.eye(2, dtype=int)
+        )
+        from repro.analysis.depvec import entry_is_positive
+
+        for vector in normalized:
+            assert entry_is_positive(vector.transform(matrix)[0])
+
+
+class TestScheduleTimingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        work=st.lists(
+            st.lists(st.floats(1e-6, 1e-2), min_size=4, max_size=4),
+            min_size=2,
+            max_size=2,
+        ),
+        rotated_bytes=st.floats(0, 1e6),
+    )
+    def test_pipelined_makespan_bounds(self, work, rotated_bytes):
+        """The pipelined rotation makespan is at least the busiest worker's
+        serial work and at most the fully serialized schedule."""
+        from repro.runtime.cluster import ClusterSpec
+        from repro.runtime.schedule import time_unordered_2d
+
+        cluster = ClusterSpec(num_machines=1, workers_per_machine=2)
+        matrix = np.array(work)
+        timing = time_unordered_2d(matrix, cluster, rotated_bytes)
+        per_worker = matrix.sum(axis=1).max()
+        transfer = cluster.network.transfer_time(
+            rotated_bytes, intra_machine=True
+        )
+        serialized = matrix.sum() + matrix.size * transfer \
+            + cluster.cost.sync_overhead_s
+        assert timing.makespan >= per_worker
+        assert timing.makespan <= serialized + cluster.cost.sync_overhead_s
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        work=st.lists(
+            st.lists(st.floats(1e-6, 1e-2), min_size=4, max_size=4),
+            min_size=2,
+            max_size=2,
+        ),
+    )
+    def test_makespan_monotone_in_work(self, work):
+        from repro.runtime.cluster import ClusterSpec
+        from repro.runtime.schedule import time_unordered_2d
+
+        cluster = ClusterSpec(num_machines=1, workers_per_machine=2)
+        matrix = np.array(work)
+        base = time_unordered_2d(matrix, cluster, 0.0).makespan
+        bigger = time_unordered_2d(matrix * 2.0, cluster, 0.0).makespan
+        assert bigger >= base
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        work=st.lists(
+            st.lists(st.floats(1e-6, 1e-2), min_size=3, max_size=3),
+            min_size=3,
+            max_size=3,
+        ),
+    )
+    def test_ordered_at_least_unordered(self, work):
+        """With equal per-block work, the barriered wavefront can never be
+        faster than the pipelined rotation."""
+        from repro.runtime.cluster import ClusterSpec
+        from repro.runtime.schedule import time_ordered_2d, time_unordered_2d
+
+        cluster = ClusterSpec(num_machines=1, workers_per_machine=3)
+        matrix = np.array(work)
+        ordered = time_ordered_2d(matrix, cluster, 100.0).makespan
+        unordered = time_unordered_2d(matrix, cluster, 100.0).makespan
+        assert ordered >= unordered * 0.999

@@ -1,0 +1,130 @@
+"""Unit tests for cluster spec, cost model, history and checkpoint helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.distarray import DistArray
+from repro.errors import CheckpointError, ExecutionError
+from repro.runtime.checkpoint import checkpoint_arrays, restore_arrays
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.history import RunHistory
+from repro.runtime.simtime import CostModel
+
+
+class TestClusterSpec:
+    def test_num_workers(self):
+        assert ClusterSpec(num_machines=3, workers_per_machine=4).num_workers == 12
+
+    def test_machine_of_contiguous(self):
+        cluster = ClusterSpec(num_machines=2, workers_per_machine=3)
+        assert [cluster.machine_of(w) for w in range(6)] == [0, 0, 0, 1, 1, 1]
+
+    def test_machine_of_out_of_range(self):
+        cluster = ClusterSpec(num_machines=1, workers_per_machine=2)
+        with pytest.raises(ExecutionError):
+            cluster.machine_of(5)
+
+    def test_same_machine(self):
+        cluster = ClusterSpec(num_machines=2, workers_per_machine=2)
+        assert cluster.same_machine(0, 1)
+        assert not cluster.same_machine(1, 2)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ExecutionError):
+            ClusterSpec(num_machines=0)
+
+    def test_paper_default(self):
+        cluster = ClusterSpec.paper_default()
+        assert cluster.num_workers == 384
+
+    def test_single_machine(self):
+        cluster = ClusterSpec.single_machine(8)
+        assert cluster.num_machines == 1
+        assert cluster.num_workers == 8
+
+
+class TestCostModel:
+    def test_compute_time(self):
+        cost = CostModel(entry_cost_s=2e-6, overhead_factor=1.5)
+        assert cost.compute_time(1000) == pytest.approx(3e-3)
+
+    def test_with_overhead(self):
+        cost = CostModel(entry_cost_s=1e-6).with_overhead(2.0)
+        assert cost.overhead_factor == 2.0
+        assert cost.entry_cost_s == 1e-6
+
+    def test_scaled(self):
+        cost = CostModel(overhead_factor=1.5).scaled(5e-6)
+        assert cost.entry_cost_s == 5e-6
+        assert cost.overhead_factor == 1.5
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CostModel().entry_cost_s = 1.0
+
+
+class TestRunHistory:
+    def test_append_accumulates_time(self):
+        history = RunHistory("x")
+        history.append(10.0, 2.0)
+        history.append(5.0, 3.0)
+        assert history.times == [2.0, 5.0]
+        assert history.losses == [10.0, 5.0]
+        assert history.final_loss == 5.0
+        assert history.total_time_s == 5.0
+
+    def test_time_per_iteration_skips_warmup(self):
+        history = RunHistory("x")
+        history.append(1.0, 10.0)  # warm-up pass
+        history.append(1.0, 2.0)
+        history.append(1.0, 2.0)
+        assert history.time_per_iteration() == pytest.approx(2.0)
+
+    def test_time_per_iteration_single_record(self):
+        history = RunHistory("x")
+        history.append(1.0, 4.0)
+        assert history.time_per_iteration() == pytest.approx(4.0)
+
+    def test_epochs_to_reach(self):
+        history = RunHistory("x")
+        for loss in [9.0, 5.0, 2.0]:
+            history.append(loss, 1.0)
+        assert history.epochs_to_reach(5.0) == 2
+        assert history.epochs_to_reach(1.0) is None
+
+    def test_time_to_reach(self):
+        history = RunHistory("x")
+        for loss in [9.0, 5.0, 2.0]:
+            history.append(loss, 1.0)
+        assert history.time_to_reach(2.5) == pytest.approx(3.0)
+
+    def test_empty_total_time(self):
+        assert RunHistory("x").total_time_s == 0.0
+
+
+class TestCheckpointHelpers:
+    def test_roundtrip(self, tmp_path):
+        dense = DistArray.randn(3, 3, seed=1, name="cp_dense").materialize()
+        sparse = DistArray.from_entries(
+            [((0, 1), 4.0)], shape=(2, 2), name="cp_sparse"
+        ).materialize()
+        paths = checkpoint_arrays([dense, sparse], str(tmp_path), "epoch5")
+        assert set(paths) == {"cp_dense", "cp_sparse"}
+
+        original = dense.values.copy()
+        dense.values[:] = 0.0
+        sparse[(0, 1)] = -1.0
+        restore_arrays([dense, sparse], str(tmp_path), "epoch5")
+        assert np.array_equal(dense.values, original)
+        assert sparse[(0, 1)] == 4.0
+
+    def test_missing_tag_raises(self, tmp_path):
+        dense = DistArray.zeros(2, name="cp_missing").materialize()
+        with pytest.raises(CheckpointError):
+            restore_arrays([dense], str(tmp_path), "nope")
+
+    def test_no_tmp_files_left(self, tmp_path):
+        dense = DistArray.zeros(2, name="cp_clean").materialize()
+        checkpoint_arrays([dense], str(tmp_path), "t")
+        leftovers = [p for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+        assert not leftovers

@@ -1,0 +1,173 @@
+"""Unit tests for computation schedules and timing (repro.runtime.schedule)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.runtime import schedule as sched
+from repro.runtime.cluster import ClusterSpec
+from repro.runtime.network import NetworkModel
+from repro.runtime.simtime import CostModel
+
+
+def _cluster(workers_per_machine=4, machines=2, latency=1e-4, bw=1e9):
+    return ClusterSpec(
+        num_machines=machines,
+        workers_per_machine=workers_per_machine,
+        network=NetworkModel(bandwidth_bytes_per_s=bw, latency_s=latency),
+        cost=CostModel(entry_cost_s=1e-6, sync_overhead_s=1e-4),
+    )
+
+
+class TestScheduleShapes:
+    def test_one_d_single_step(self):
+        steps = sched.one_d_schedule(4)
+        assert len(steps) == 1
+        assert [t.worker for t in steps[0]] == [0, 1, 2, 3]
+        assert all(t.space_idx == t.worker for t in steps[0])
+
+    def test_ordered_wavefront_step_count(self):
+        steps = sched.ordered_2d_schedule(4, 6)
+        assert len(steps) == 6 + 4 - 1
+
+    def test_ordered_wavefront_valid_time_indices(self):
+        for tasks in sched.ordered_2d_schedule(3, 5):
+            for task in tasks:
+                assert 0 <= task.time_idx < 5
+                assert task.time_idx == task.step - task.worker
+
+    def test_ordered_covers_all_blocks_once(self):
+        seen = set()
+        for tasks in sched.ordered_2d_schedule(3, 5):
+            for task in tasks:
+                seen.add((task.space_idx, task.time_idx))
+        assert seen == {(s, t) for s in range(3) for t in range(5)}
+
+    def test_unordered_requires_divisibility(self):
+        with pytest.raises(ExecutionError):
+            sched.unordered_2d_schedule(4, 6)
+
+    def test_unordered_each_worker_covers_all_time_indices(self):
+        steps = sched.unordered_2d_schedule(4, 8)
+        per_worker = {w: set() for w in range(4)}
+        for tasks in steps:
+            for task in tasks:
+                per_worker[task.worker].add(task.time_idx)
+        assert all(v == set(range(8)) for v in per_worker.values())
+
+    def test_unordered_distinct_time_indices_within_step(self):
+        # The serializability-critical invariant: concurrent workers hold
+        # different time partitions (paper Fig. 7c/7f).
+        for tasks in sched.unordered_2d_schedule(4, 8):
+            indices = [task.time_idx for task in tasks]
+            assert len(indices) == len(set(indices))
+
+    def test_unordered_staggered_starts(self):
+        first = sched.unordered_2d_schedule(4, 8)[0]
+        assert [t.time_idx for t in first] == [0, 2, 4, 6]
+
+    def test_sequential_outer_one_time_index_per_step(self):
+        steps = sched.sequential_outer_schedule(3, 5)
+        assert len(steps) == 5
+        for step_idx, tasks in enumerate(steps):
+            assert all(task.time_idx == step_idx for task in tasks)
+
+
+class TestTiming:
+    def test_one_d_is_slowest_worker_plus_barrier(self):
+        cluster = _cluster()
+        work = np.array([[1.0], [3.0], [2.0], [1.0]])
+        timing = sched.time_one_d(work, cluster)
+        assert timing.makespan == pytest.approx(3.0 + 1e-4)
+
+    def test_one_d_finish_times(self):
+        cluster = _cluster()
+        work = np.array([[1.0], [3.0]])
+        timing = sched.time_one_d(work, cluster)
+        assert timing.finish[(0, 0)] == 1.0
+        assert timing.finish[(1, 0)] == 3.0
+
+    def test_ordered_sums_step_maxima(self):
+        cluster = _cluster(latency=0.0, bw=1e18)
+        cluster.cost = CostModel(entry_cost_s=1e-6, sync_overhead_s=0.0)
+        work = np.ones((2, 2))
+        timing = sched.time_ordered_2d(work, cluster, rotated_block_bytes=0.0)
+        # Wavefront over 2+2-1 = 3 steps, each step max work 1.0.
+        assert timing.makespan == pytest.approx(3.0)
+
+    def test_unordered_perfect_pipeline(self):
+        # With zero transfer cost, rotation is free: makespan = per-worker
+        # total work.
+        cluster = _cluster(latency=0.0, bw=1e18)
+        cluster.cost = CostModel(entry_cost_s=1e-6, sync_overhead_s=0.0)
+        work = np.ones((2, 4))
+        timing = sched.time_unordered_2d(work, cluster, rotated_block_bytes=0.0)
+        assert timing.makespan == pytest.approx(4.0)
+
+    def test_unordered_beats_ordered(self):
+        # The paper's Table 3: relaxing ordering yields > 2x speedups,
+        # because pipelined rotation hides transfer latency and avoids the
+        # wavefront's fill/drain and barriers.
+        cluster = _cluster(latency=5e-3)
+        work = np.full((4, 8), 1e-2)
+        ordered = sched.time_ordered_2d(work, cluster, rotated_block_bytes=1e6)
+        unordered = sched.time_unordered_2d(work, cluster, rotated_block_bytes=1e6)
+        assert ordered.makespan / unordered.makespan > 2.0
+
+    def test_unordered_transfer_stalls_increase_makespan(self):
+        cluster = _cluster(latency=0.1)
+        work = np.full((2, 4), 1e-3)
+        slow = sched.time_unordered_2d(work, cluster, rotated_block_bytes=1e6)
+        cluster_fast = _cluster(latency=0.0, bw=1e18)
+        fast = sched.time_unordered_2d(work, cluster_fast, rotated_block_bytes=1e6)
+        assert slow.makespan > fast.makespan
+
+    def test_deeper_pipeline_hides_more_latency(self):
+        cluster = _cluster(workers_per_machine=2, machines=1, latency=2e-3)
+        work_shallow = np.full((2, 2), 1e-3)  # depth 1
+        work_deep = np.full((2, 8), 2.5e-4)  # depth 4, same total work
+        shallow = sched.time_unordered_2d(
+            work_shallow, cluster, rotated_block_bytes=0.0
+        )
+        deep = sched.time_unordered_2d(work_deep, cluster, rotated_block_bytes=0.0)
+        # Same total work; the deeper pipeline overlaps transfers better
+        # relative to its per-step latency exposure.
+        assert deep.makespan <= shallow.makespan * 1.5
+
+    def test_sequential_outer_sums_steps(self):
+        cluster = _cluster()
+        cluster.cost = CostModel(entry_cost_s=1e-6, sync_overhead_s=0.0)
+        work = np.ones((2, 3))
+        timing = sched.time_sequential_outer(work, cluster)
+        assert timing.makespan == pytest.approx(3.0)
+
+    def test_monotone_in_work(self):
+        cluster = _cluster()
+        small = np.full((2, 4), 1e-3)
+        large = np.full((2, 4), 2e-3)
+        assert (
+            sched.time_unordered_2d(large, cluster, 0.0).makespan
+            > sched.time_unordered_2d(small, cluster, 0.0).makespan
+        )
+
+    def test_intra_machine_transfers_cheaper(self):
+        fast_intra = ClusterSpec(
+            num_machines=1,
+            workers_per_machine=4,
+            network=NetworkModel(
+                bandwidth_bytes_per_s=1e8, latency_s=1e-3, intra_machine_factor=0.0
+            ),
+            cost=CostModel(entry_cost_s=1e-6, sync_overhead_s=0.0),
+        )
+        slow_intra = ClusterSpec(
+            num_machines=1,
+            workers_per_machine=4,
+            network=NetworkModel(
+                bandwidth_bytes_per_s=1e8, latency_s=1e-3, intra_machine_factor=1.0
+            ),
+            cost=CostModel(entry_cost_s=1e-6, sync_overhead_s=0.0),
+        )
+        work = np.full((4, 4), 1e-4)
+        cheap = sched.time_unordered_2d(work, fast_intra, rotated_block_bytes=1e5)
+        costly = sched.time_unordered_2d(work, slow_intra, rotated_block_bytes=1e5)
+        assert cheap.makespan < costly.makespan

@@ -1,0 +1,327 @@
+"""Unit tests for parallelization strategy selection (repro.analysis.strategy)."""
+
+import pytest
+
+from repro.analysis.loop_info import analyze_loop_body
+from repro.analysis.strategy import PlacementKind, Strategy, choose_plan
+from repro.core.buffers import DistArrayBuffer
+from repro.core.distarray import DistArray
+from repro.errors import ParallelizationError
+
+
+def _space_2d(shape=(8, 6)):
+    entries = [((i, j), 1.0) for i in range(shape[0]) for j in range(shape[1])]
+    return DistArray.from_entries(entries, name="sp2", shape=shape).materialize()
+
+
+def _space_1d(extent=10):
+    entries = [((i,), float(i)) for i in range(extent)]
+    return DistArray.from_entries(entries, name="sp1", shape=(extent,)).materialize()
+
+
+Wm = DistArray.randn(4, 8, name="Wm", seed=2).materialize()
+Hm = DistArray.randn(4, 6, name="Hm", seed=3).materialize()
+
+
+def _mf_plan(ordered=False, force_dims=None):
+    space = _space_2d()
+    step = 0.1
+
+    def body(key, value):
+        w = Wm[:, key[0]]
+        h = Hm[:, key[1]]
+        Wm[:, key[0]] = w - step * h
+        Hm[:, key[1]] = h - step * w
+
+    info = analyze_loop_body(body, space, ordered=ordered)
+    return choose_plan(info, force_dims=force_dims)
+
+
+class TestMFPlan:
+    def test_two_d_unordered(self):
+        plan = _mf_plan()
+        assert plan.strategy is Strategy.TWO_D
+        assert not plan.ordered
+        assert {plan.space_dim, plan.time_dim} == {0, 1}
+
+    def test_dependence_vectors_match_paper(self):
+        plan = _mf_plan()
+        assert sorted(v.describe() for v in plan.dvecs) == \
+            ["(+inf, 0)", "(0, +inf)"]
+
+    def test_both_orientations_are_candidates(self):
+        plan = _mf_plan()
+        assert set(plan.candidates_2d) == {(0, 1), (1, 0)}
+        assert plan.candidates_1d == ()
+
+    def test_smaller_factor_rotated(self):
+        # Hm (4x6) is smaller than Wm (4x8): the heuristic pins the larger
+        # factor and rotates the smaller one (paper Fig. 6 step 4).
+        plan = _mf_plan()
+        assert plan.placements["Wm"].kind is PlacementKind.LOCAL
+        assert plan.placements["Hm"].kind is PlacementKind.ROTATED
+
+    def test_ordered_flag_propagates(self):
+        plan = _mf_plan(ordered=True)
+        assert plan.ordered
+        assert plan.strategy is Strategy.TWO_D
+
+    def test_force_dims_valid_orientation(self):
+        plan = _mf_plan(force_dims=(1, 0))
+        assert (plan.space_dim, plan.time_dim) == (1, 0)
+        # Forced orientation flips the placements.
+        assert plan.placements["Hm"].kind is PlacementKind.LOCAL
+        assert plan.placements["Wm"].kind is PlacementKind.ROTATED
+
+    def test_force_dims_invalid_raises(self):
+        with pytest.raises(ParallelizationError):
+            _mf_plan(force_dims=(0,))
+
+    def test_describe_mentions_strategy(self):
+        assert "2D" in _mf_plan().describe()
+
+
+class TestOneDPlan:
+    def test_single_index_writes_give_one_d(self):
+        space = _space_1d()
+        vec = DistArray.zeros(10, name="vec1d").materialize()
+
+        def body(key, value):
+            vec[key[0]] = vec[key[0]] + value
+
+        info = analyze_loop_body(body, space)
+        plan = choose_plan(info)
+        assert plan.strategy is Strategy.ONE_D
+        assert plan.space_dim == 0
+        assert plan.placements["vec"].kind is PlacementKind.LOCAL
+
+    def test_read_only_array_replicated(self):
+        space = _space_1d()
+        vec = DistArray.zeros(10, name="vecA").materialize()
+        table = DistArray.randn(3, 3, name="tableA", seed=4).materialize()
+
+        def body(key, value):
+            vec[key[0]] = table[0, 1] + value
+
+        info = analyze_loop_body(body, space)
+        plan = choose_plan(info)
+        assert plan.placements["table"].kind is PlacementKind.REPLICATED
+
+    def test_one_d_preferred_over_two_d(self):
+        # Writes pinned by dim 0 only: dim 0 is a 1D candidate and must win.
+        space = _space_2d()
+        rows = DistArray.zeros(8, name="rows8").materialize()
+
+        def body(key, value):
+            rows[key[0]] = rows[key[0]] + value
+
+        info = analyze_loop_body(body, space)
+        plan = choose_plan(info)
+        assert plan.strategy is Strategy.ONE_D
+        assert plan.space_dim == 0
+
+
+class TestDataParallelPlan:
+    def test_buffered_writes_give_data_parallel(self):
+        space = _space_1d()
+        weights = DistArray.zeros(30, name="weightsB").materialize()
+        buf = DistArrayBuffer(weights, name="bufB")
+
+        def body(key, value):
+            w = weights[int(value)]
+            buf[int(value)] = w * 0.1
+
+        info = analyze_loop_body(body, space)
+        plan = choose_plan(info)
+        assert plan.strategy is Strategy.DATA_PARALLEL
+        assert plan.uses_buffers
+        assert "data parallelism" in plan.describe()
+
+    def test_buffer_target_placed_on_server(self):
+        space = _space_1d()
+        weights = DistArray.zeros(30, name="weightsC").materialize()
+        buf = DistArrayBuffer(weights, name="bufC")
+
+        def body(key, value):
+            w = weights[int(value)]
+            buf[int(value)] = w * 0.1
+
+        info = analyze_loop_body(body, space)
+        plan = choose_plan(info)
+        assert plan.placements["weights"].kind is PlacementKind.SERVER
+
+
+class TestUnimodularPlan:
+    def test_axis_stencil_stays_two_d(self):
+        # grid[key[0]-1, key[1]] and grid[key[0], key[1]-1] read,
+        # grid[key[0], key[1]] written: dvecs {(1,0),(0,1)} — each vector is
+        # zero in one of the two dims, so the paper's 2D condition holds
+        # (the ordered wavefront schedule respects both dependences).
+        space = _space_2d((6, 6))
+        grid = DistArray.zeros(6, 6, name="grid6").materialize()
+
+        def body(key, value):
+            up = grid[key[0] - 1, key[1]]
+            left = grid[key[0], key[1] - 1]
+            grid[key[0], key[1]] = 0.5 * (up + left)
+
+        info = analyze_loop_body(body, space, ordered=True)
+        plan = choose_plan(info)
+        assert plan.strategy is Strategy.TWO_D
+        assert sorted(v.describe() for v in plan.dvecs) == ["(0, 1)", "(1, 0)"]
+
+    def _diagonal_plan(self):
+        # Reads at (key0, key1-1) and (key0-1, key1-1) give dvecs
+        # {(0,1), (1,1)}: no dimension is all-zero (no 1D) and every 2D
+        # pair is defeated by (1,1) — a unimodular transformation (e.g.
+        # interchange) carries both on the outer level.
+        space = _space_2d((6, 6))
+        grid = DistArray.zeros(6, 6, name="grid7").materialize()
+
+        def body(key, value):
+            left = grid[key[0], key[1] - 1]
+            diag = grid[key[0] - 1, key[1] - 1]
+            grid[key[0], key[1]] = 0.5 * (left + diag)
+
+        info = analyze_loop_body(body, space, ordered=True)
+        return choose_plan(info)
+
+    def test_diagonal_needs_transformation(self):
+        plan = self._diagonal_plan()
+        assert plan.strategy is Strategy.TWO_D_UNIMODULAR
+        assert plan.transform is not None
+        assert plan.transform_inverse is not None
+        assert sorted(v.describe() for v in plan.dvecs) == ["(0, 1)", "(1, 1)"]
+
+    def test_transform_carries_all_dependences(self):
+        plan = self._diagonal_plan()
+        from repro.analysis.depvec import entry_is_positive
+
+        for vector in plan.dvecs:
+            transformed = vector.transform(plan.transform)
+            assert entry_is_positive(transformed[0])
+
+
+class TestNoParallelization:
+    def test_all_unknown_writes_raise(self):
+        space = _space_1d()
+        weights = DistArray.zeros(30, name="weightsD").materialize()
+
+        def body(key, value):
+            weights[int(value)] = weights[int(value)] + 1.0
+
+        info = analyze_loop_body(body, space)
+        with pytest.raises(ParallelizationError) as excinfo:
+            choose_plan(info)
+        assert "DistArrayBuffer" in str(excinfo.value)
+
+    def test_scalar_cell_update_raises(self):
+        # Every iteration writes the same cell: (POS,)-style dependence on
+        # a 1-D space has no zero dimension and no eligible transform.
+        space = _space_1d()
+        cell = DistArray.zeros(1, name="cell1").materialize()
+
+        def body(key, value):
+            cell[0] = cell[0] + value
+
+        info = analyze_loop_body(body, space)
+        with pytest.raises(ParallelizationError):
+            choose_plan(info)
+
+
+class TestLDAPlan:
+    def test_lda_is_two_d_with_buffered_topic_sum(self):
+        space = _space_2d((8, 6))
+        doc_topic = DistArray.zeros(8, 4, name="doc_topicT").materialize()
+        word_topic = DistArray.zeros(6, 4, name="word_topicT").materialize()
+        topic_sum = DistArray.zeros(4, name="topic_sumT").materialize()
+        topic_buf = DistArrayBuffer(topic_sum, name="topic_bufT")
+
+        def body(key, count):
+            dt = doc_topic[key[0], :]
+            wt = word_topic[key[1], :]
+            ts = topic_sum[:]
+            doc_topic[key[0], :] = dt + 1.0
+            word_topic[key[1], :] = wt + 1.0
+            topic_buf[0] = 1.0
+
+        info = analyze_loop_body(body, space)
+        plan = choose_plan(info)
+        assert plan.strategy is Strategy.TWO_D
+        assert plan.placements["topic_sum"].kind is PlacementKind.SERVER
+        kinds = {
+            plan.placements["doc_topic"].kind,
+            plan.placements["word_topic"].kind,
+        }
+        assert kinds == {PlacementKind.LOCAL, PlacementKind.ROTATED}
+
+
+class TestThreeDimensionalIterationSpaces:
+    """3-D loops (tensor factorization): Orion supports only 1D/2D
+    parallelization, so a 3-factor CP decomposition is correctly refused —
+    and buffering one factor's updates recovers a 2D plan."""
+
+    def _space_3d(self, extent=4):
+        entries = [
+            ((i, j, k), 1.0)
+            for i in range(extent)
+            for j in range(extent)
+            for k in range(extent)
+        ]
+        return DistArray.from_entries(
+            entries, name="sp3", shape=(extent, extent, extent)
+        ).materialize()
+
+    def test_cp_decomposition_refused(self):
+        space = self._space_3d()
+        U = DistArray.randn(2, 4, name="U3", seed=1).materialize()
+        V = DistArray.randn(2, 4, name="V3", seed=2).materialize()
+        Wf = DistArray.randn(2, 4, name="W3", seed=3).materialize()
+
+        def body(key, value):
+            u = U[:, key[0]]
+            v = V[:, key[1]]
+            w = Wf[:, key[2]]
+            U[:, key[0]] = u * 0.9
+            V[:, key[1]] = v * 0.9
+            Wf[:, key[2]] = w * 0.9
+
+        info = analyze_loop_body(body, space)
+        with pytest.raises(ParallelizationError):
+            choose_plan(info)
+
+    def test_buffering_one_factor_recovers_two_d(self):
+        space = self._space_3d()
+        U = DistArray.randn(2, 4, name="U3b", seed=1).materialize()
+        V = DistArray.randn(2, 4, name="V3b", seed=2).materialize()
+        Wf = DistArray.randn(2, 4, name="W3b", seed=3).materialize()
+        w_buf = DistArrayBuffer(Wf, name="w3_buf")
+
+        def body(key, value):
+            u = U[:, key[0]]
+            v = V[:, key[1]]
+            w = Wf[:, key[2]]
+            U[:, key[0]] = u * 0.9
+            V[:, key[1]] = v * 0.9
+            w_buf[0, key[2]] = 0.1 * w[0]
+
+        info = analyze_loop_body(body, space)
+        plan = choose_plan(info)
+        assert plan.strategy is Strategy.TWO_D
+        assert {plan.space_dim, plan.time_dim} == {0, 1}
+        assert plan.placements["Wf"].kind is PlacementKind.SERVER
+
+    def test_two_factor_tensor_loop_is_two_d(self):
+        # Only two of three dims carry parameters: the third is free.
+        space = self._space_3d()
+        U = DistArray.randn(2, 4, name="U3c", seed=1).materialize()
+        V = DistArray.randn(2, 4, name="V3c", seed=2).materialize()
+
+        def body(key, value):
+            U[:, key[0]] = U[:, key[0]] * 0.9
+            V[:, key[1]] = V[:, key[1]] * 0.9
+
+        info = analyze_loop_body(body, space)
+        plan = choose_plan(info)
+        assert plan.strategy is Strategy.TWO_D
+        assert {plan.space_dim, plan.time_dim} == {0, 1}

@@ -1,0 +1,122 @@
+"""Unit tests for the subscript grammar (repro.analysis.subscript)."""
+
+import pytest
+
+from repro.analysis import subscript as sub
+
+
+class TestConstructors:
+    def test_constant(self):
+        axis = sub.constant(5)
+        assert axis.kind is sub.SubscriptKind.CONSTANT
+        assert axis.const == 5
+
+    def test_index_default_offset(self):
+        axis = sub.index(1)
+        assert axis.kind is sub.SubscriptKind.INDEX
+        assert axis.dim_idx == 1
+        assert axis.const == 0
+
+    def test_index_with_offset(self):
+        axis = sub.index(0, -3)
+        assert axis.const == -3
+
+    def test_slice_all(self):
+        assert sub.slice_all().kind is sub.SubscriptKind.SLICE_ALL
+
+    def test_const_range(self):
+        axis = sub.const_range(2, 7)
+        assert (axis.lo, axis.hi) == (2, 7)
+
+    def test_unknown(self):
+        assert sub.unknown().kind is sub.SubscriptKind.UNKNOWN
+
+    def test_axes_are_hashable_and_frozen(self):
+        axis = sub.index(0, 1)
+        assert hash(axis) == hash(sub.index(0, 1))
+        with pytest.raises(Exception):
+            axis.const = 9  # frozen dataclass
+
+    def test_is_single_index(self):
+        assert sub.index(0).is_single_index()
+        assert not sub.constant(0).is_single_index()
+        assert not sub.slice_all().is_single_index()
+
+
+class TestDescribe:
+    def test_constant_describe(self):
+        assert sub.constant(4).describe() == "4"
+
+    def test_index_describe_plain(self):
+        assert sub.index(2).describe() == "key[2]"
+
+    def test_index_describe_positive_offset(self):
+        assert sub.index(0, 2).describe() == "key[0] + 2"
+
+    def test_index_describe_negative_offset(self):
+        assert sub.index(1, -1).describe() == "key[1] - 1"
+
+    def test_slice_describe(self):
+        assert sub.slice_all().describe() == ":"
+
+    def test_range_describe(self):
+        assert sub.const_range(1, 4).describe() == "1:4"
+
+    def test_unknown_describe(self):
+        assert sub.unknown().describe() == "?"
+
+
+class TestOverlap:
+    def test_equal_constants_overlap(self):
+        assert sub.axes_may_overlap(sub.constant(3), sub.constant(3))
+
+    def test_distinct_constants_disjoint(self):
+        assert not sub.axes_may_overlap(sub.constant(3), sub.constant(4))
+
+    def test_constant_inside_range(self):
+        assert sub.axes_may_overlap(sub.constant(3), sub.const_range(2, 5))
+
+    def test_constant_outside_range(self):
+        assert not sub.axes_may_overlap(sub.constant(5), sub.const_range(2, 5))
+
+    def test_constant_at_range_start(self):
+        assert sub.axes_may_overlap(sub.constant(2), sub.const_range(2, 5))
+
+    def test_range_vs_constant_symmetric(self):
+        assert sub.axes_may_overlap(sub.const_range(2, 5), sub.constant(4))
+        assert not sub.axes_may_overlap(sub.const_range(2, 5), sub.constant(7))
+
+    def test_overlapping_ranges(self):
+        assert sub.axes_may_overlap(sub.const_range(0, 4), sub.const_range(3, 8))
+
+    def test_touching_ranges_disjoint(self):
+        assert not sub.axes_may_overlap(sub.const_range(0, 4), sub.const_range(4, 8))
+
+    def test_index_overlaps_anything(self):
+        assert sub.axes_may_overlap(sub.index(0), sub.constant(3))
+        assert sub.axes_may_overlap(sub.index(0), sub.index(1))
+        assert sub.axes_may_overlap(sub.index(0), sub.const_range(0, 2))
+
+    def test_slice_overlaps_anything(self):
+        assert sub.axes_may_overlap(sub.slice_all(), sub.constant(0))
+        assert sub.axes_may_overlap(sub.slice_all(), sub.slice_all())
+
+    def test_unknown_overlaps_anything(self):
+        assert sub.axes_may_overlap(sub.unknown(), sub.constant(0))
+        assert sub.axes_may_overlap(sub.unknown(), sub.unknown())
+
+
+class TestIndexDistance:
+    def test_same_dim_distance(self):
+        assert sub.index_distance(sub.index(0, 2), sub.index(0, -1)) == (0, 3)
+
+    def test_same_dim_zero_distance(self):
+        assert sub.index_distance(sub.index(1), sub.index(1)) == (1, 0)
+
+    def test_different_dims_unconstrained(self):
+        assert sub.index_distance(sub.index(0), sub.index(1)) is None
+
+    def test_non_index_forms_unconstrained(self):
+        assert sub.index_distance(sub.index(0), sub.constant(2)) is None
+        assert sub.index_distance(sub.slice_all(), sub.index(0)) is None
+        assert sub.index_distance(sub.unknown(), sub.unknown()) is None

@@ -1,0 +1,83 @@
+"""Tests for the terminal reporting utilities (repro.tools)."""
+
+import pytest
+
+from repro.runtime.history import RunHistory
+from repro.tools import ascii_curves, comparison_table, render_report
+
+
+def _history(label, losses, epoch_time=1.0):
+    history = RunHistory(label)
+    for loss in losses:
+        history.append(loss, epoch_time)
+    return history
+
+
+@pytest.fixture
+def histories():
+    return [
+        _history("fast", [10.0, 5.0, 2.0, 1.0]),
+        _history("slow", [10.0, 9.0, 8.0, 7.0], epoch_time=2.0),
+    ]
+
+
+class TestComparisonTable:
+    def test_contains_labels_and_values(self, histories):
+        table = comparison_table(histories)
+        assert "fast" in table and "slow" in table
+        assert "1" in table and "7" in table
+
+    def test_column_headers(self, histories):
+        header = comparison_table(histories).splitlines()[0]
+        for column in ("engine", "final loss", "s/iter", "total s"):
+            assert column in header
+
+    def test_alignment_consistent(self, histories):
+        lines = comparison_table(histories).splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+
+class TestAsciiCurves:
+    def test_has_axes_and_legend(self, histories):
+        plot = ascii_curves(histories)
+        assert "|" in plot
+        assert "+" in plot
+        assert "o fast" in plot
+        assert "x slow" in plot
+
+    def test_markers_plotted(self, histories):
+        plot = ascii_curves(histories)
+        body = "\n".join(plot.splitlines()[:-3])
+        assert "o" in body and "x" in body
+
+    def test_extremes_labelled(self, histories):
+        plot = ascii_curves(histories)
+        assert "10" in plot  # max loss
+        assert "1" in plot  # min loss
+
+    def test_time_axis(self, histories):
+        plot = ascii_curves(histories, x_axis="time")
+        assert "virtual seconds" in plot
+
+    def test_log_scale_handles_divergence(self):
+        wild = [
+            _history("diverging", [1e2, 1e4, 1e6]),
+            _history("fine", [1e2, 1e1, 1e0]),
+        ]
+        plot = ascii_curves(wild, log_y=True)
+        assert "o diverging" in plot
+
+    def test_bad_axis_rejected(self, histories):
+        with pytest.raises(ValueError):
+            ascii_curves(histories, x_axis="parsecs")
+
+    def test_empty_histories(self):
+        assert ascii_curves([_history("empty", [])]) == "(no data)"
+
+
+class TestRenderReport:
+    def test_combines_table_and_plot(self, histories):
+        report = render_report(histories, title="comparison")
+        assert "comparison" in report
+        assert "final loss" in report
+        assert "o fast" in report

@@ -1,0 +1,108 @@
+"""Tests for the TuX²-style engine and the checkpoint policy."""
+
+import numpy as np
+import pytest
+
+from repro.apps import MFHyper, SGDMFApp
+from repro.baselines import run_serial, run_tux2_minibatch
+from repro.core.distarray import DistArray
+from repro.errors import CheckpointError
+from repro.runtime.checkpoint import CheckpointPolicy, checkpoint_path
+from repro.runtime.cluster import ClusterSpec
+
+
+class TestTux2Engine:
+    @pytest.fixture(scope="class")
+    def setup(self, mf_small):
+        hyper = MFHyper(rank=4, step_size=0.05)
+        app = SGDMFApp(mf_small, hyper)
+        cluster = ClusterSpec(num_machines=2, workers_per_machine=2)
+        return app, cluster
+
+    def test_converges(self, setup):
+        app, cluster = setup
+        history = run_tux2_minibatch(app, cluster, 5)
+        assert history.final_loss < history.meta["initial_loss"]
+
+    def test_slower_per_iteration_convergence_than_serial(self, setup):
+        app, cluster = setup
+        epochs = 5
+        serial = run_serial(app, epochs, cost=cluster.cost)
+        tux2 = run_tux2_minibatch(app, cluster, epochs)
+        assert tux2.final_loss > serial.final_loss
+
+    def test_more_rounds_converge_better(self, setup):
+        app, cluster = setup
+        few = run_tux2_minibatch(app, cluster, 4, rounds_per_epoch=1)
+        many = run_tux2_minibatch(app, cluster, 4, rounds_per_epoch=8)
+        assert many.final_loss < few.final_loss
+
+    def test_speed_factor_scales_time(self, setup):
+        app, cluster = setup
+        fast = run_tux2_minibatch(app, cluster, 2, speed_factor=0.25)
+        slow = run_tux2_minibatch(app, cluster, 2, speed_factor=1.0)
+        assert fast.time_per_iteration() < slow.time_per_iteration()
+
+    def test_sync_traffic_recorded(self, setup):
+        app, cluster = setup
+        history = run_tux2_minibatch(app, cluster, 2)
+        assert history.traffic.bytes_by_kind().get("sync", 0) > 0
+
+
+class TestCheckpointPolicy:
+    def _array(self, name):
+        return DistArray.randn(3, 3, seed=5, name=name).materialize()
+
+    def test_checkpoints_on_schedule(self, tmp_path):
+        array = self._array("cp_sched")
+        policy = CheckpointPolicy([array], str(tmp_path), every_n_epochs=3)
+        written = [policy.step(epoch) for epoch in range(1, 8)]
+        assert written == [False, False, True, False, False, True, False]
+        assert policy.latest_tag == "epoch6"
+
+    def test_restore_latest(self, tmp_path):
+        array = self._array("cp_restore")
+        policy = CheckpointPolicy([array], str(tmp_path), every_n_epochs=1)
+        policy.step(1)
+        saved = array.values.copy()
+        array.values[:] = -1.0
+        tag = policy.restore_latest()
+        assert tag == "epoch1"
+        assert np.array_equal(array.values, saved)
+
+    def test_restore_specific_tag(self, tmp_path):
+        array = self._array("cp_tagged")
+        policy = CheckpointPolicy([array], str(tmp_path), every_n_epochs=1)
+        policy.step(1)
+        first = array.values.copy()
+        array.values[:] = 7.0
+        policy.step(2)
+        policy.restore("epoch1")
+        assert np.array_equal(array.values, first)
+
+    def test_prunes_old_checkpoints(self, tmp_path):
+        import os
+
+        array = self._array("cp_prune")
+        policy = CheckpointPolicy(
+            [array], str(tmp_path), every_n_epochs=1, keep=2
+        )
+        for epoch in range(1, 6):
+            policy.step(epoch)
+        assert not os.path.exists(
+            checkpoint_path(str(tmp_path), "cp_prune", "epoch1")
+        )
+        assert os.path.exists(
+            checkpoint_path(str(tmp_path), "cp_prune", "epoch5")
+        )
+
+    def test_restore_before_any_checkpoint_raises(self, tmp_path):
+        array = self._array("cp_none")
+        policy = CheckpointPolicy([array], str(tmp_path))
+        with pytest.raises(CheckpointError):
+            policy.restore_latest()
+
+    def test_invalid_interval_rejected(self, tmp_path):
+        array = self._array("cp_bad")
+        with pytest.raises(CheckpointError):
+            CheckpointPolicy([array], str(tmp_path), every_n_epochs=0)

@@ -1,0 +1,111 @@
+"""Unit tests for unimodular transformations (repro.analysis.unimodular)."""
+
+import numpy as np
+
+from repro.analysis.depvec import ANY, NEG, POS, DepVector, entry_is_positive
+from repro.analysis import unimodular as uni
+
+
+class TestElementaryMatrices:
+    def test_identity(self):
+        assert uni.identity(3) == ((1, 0, 0), (0, 1, 0), (0, 0, 1))
+
+    def test_interchange(self):
+        assert uni.interchange(2, 0, 1) == ((0, 1), (1, 0))
+
+    def test_reversal(self):
+        assert uni.reversal(2, 1) == ((1, 0), (0, -1))
+
+    def test_skew(self):
+        assert uni.skew(2, 0, 1, 2) == ((1, 2), (0, 1))
+
+    def test_all_generators_unimodular(self):
+        for n in (2, 3):
+            assert uni.is_unimodular(uni.identity(n))
+            assert uni.is_unimodular(uni.interchange(n, 0, 1))
+            assert uni.is_unimodular(uni.reversal(n, 0))
+            assert uni.is_unimodular(uni.skew(n, 0, 1, 3))
+
+    def test_invert_unimodular_roundtrip(self):
+        matrix = uni.skew(2, 0, 1, 2)
+        inverse = uni.invert_unimodular(matrix)
+        product = np.array(matrix) @ np.array(inverse)
+        assert np.array_equal(product, np.eye(2, dtype=int))
+
+    def test_invert_composed(self):
+        matrix = tuple(
+            tuple(int(v) for v in row)
+            for row in np.array(uni.interchange(2, 0, 1)) @ np.array(uni.skew(2, 0, 1, 1))
+        )
+        inverse = uni.invert_unimodular(matrix)
+        assert np.array_equal(
+            np.array(matrix) @ np.array(inverse), np.eye(2, dtype=int)
+        )
+
+
+class TestEligibility:
+    def test_numbers_and_pos_eligible(self):
+        assert uni.eligible_for_transformation(
+            [DepVector((1, 0)), DepVector((POS, 2))]
+        )
+
+    def test_any_ineligible(self):
+        assert not uni.eligible_for_transformation([DepVector((ANY, 0))])
+
+    def test_neg_ineligible(self):
+        assert not uni.eligible_for_transformation([DepVector((1, NEG))])
+
+
+class TestSearch:
+    def test_wavefront_case(self):
+        dvecs = [DepVector((1, 0)), DepVector((0, 1))]
+        matrix = uni.find_transformation(dvecs, 2)
+        assert matrix is not None
+        assert uni.is_unimodular(matrix)
+        for vector in dvecs:
+            assert entry_is_positive(vector.transform(matrix)[0])
+
+    def test_already_carried_returns_identity(self):
+        dvecs = [DepVector((1, 0)), DepVector((2, -1))]
+        assert uni.find_transformation(dvecs, 2) == uni.identity(2)
+
+    def test_negative_lead_needs_work(self):
+        # (0, 1) and (1, -1): skewing by 2 (or similar) carries both.
+        dvecs = [DepVector((0, 1)), DepVector((1, -1))]
+        matrix = uni.find_transformation(dvecs, 2)
+        assert matrix is not None
+        for vector in dvecs:
+            assert entry_is_positive(vector.transform(matrix)[0])
+
+    def test_pos_infinity_entries(self):
+        dvecs = [DepVector((POS, 0)), DepVector((0, POS))]
+        matrix = uni.find_transformation(dvecs, 2)
+        assert matrix is not None
+        for vector in dvecs:
+            assert entry_is_positive(vector.transform(matrix)[0])
+
+    def test_three_level_nest(self):
+        dvecs = [DepVector((1, 0, 0)), DepVector((0, 1, 0)), DepVector((0, 0, 1))]
+        matrix = uni.find_transformation(dvecs, 3)
+        assert matrix is not None
+        for vector in dvecs:
+            assert entry_is_positive(vector.transform(matrix)[0])
+
+    def test_ineligible_returns_none(self):
+        assert uni.find_transformation([DepVector((ANY, 0))], 2) is None
+
+    def test_empty_returns_none(self):
+        assert uni.find_transformation([], 2) is None
+
+    def test_one_dim_returns_none(self):
+        assert uni.find_transformation([DepVector((1,))], 1) is None
+
+
+class TestTransformPoint:
+    def test_skew_point(self):
+        matrix = uni.skew(2, 0, 1, 1)
+        assert uni.transform_point(matrix, (3, 4)) == (7, 4)
+
+    def test_interchange_point(self):
+        matrix = uni.interchange(2, 0, 1)
+        assert uni.transform_point(matrix, (3, 4)) == (4, 3)
