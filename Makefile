@@ -1,0 +1,15 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Wall-clock kernel-vs-scalar throughput; writes BENCH_wallclock.json.
+bench-smoke:
+	$(PYTHON) benchmarks/bench_wallclock.py
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache

@@ -26,7 +26,7 @@ def _measure():
     times = {}
     for label, opts in [
         ("no prefetch", {"prefetch": "none"}),
-        ("bulk prefetch", {"prefetch": "auto"}),
+        ("bulk prefetch", {"prefetch": "auto", "cache_prefetch": False}),
         (
             "bulk prefetch + cached indices",
             {"prefetch": "auto", "cache_prefetch": True},

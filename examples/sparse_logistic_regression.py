@@ -50,7 +50,7 @@ for record in history.records:
 print("\nper-pass virtual time by prefetch configuration:")
 for label, opts in [
     ("no prefetch (per-read round trips)", {"prefetch": "none"}),
-    ("bulk prefetch", {"prefetch": "auto"}),
+    ("bulk prefetch", {"prefetch": "auto", "cache_prefetch": False}),
     ("bulk prefetch + cached indices", {"prefetch": "auto", "cache_prefetch": True}),
 ]:
     trial = build_slr(dataset, cluster=cluster, hyper=hyper, seed=2, **opts)

@@ -221,8 +221,10 @@ class OrionContext:
         balance: bool = True,
         validate: bool = False,
         prefetch: str = "auto",
-        cache_prefetch: bool = False,
+        cache_prefetch: bool = True,
         concurrency: str = "serial",
+        kernel: Optional[Callable[..., Any]] = None,
+        equivalence_check: bool = False,
     ) -> Callable[[Callable[..., Any]], ParallelLoop]:
         """Parallelize a loop body over ``iteration_space``.
 
@@ -241,9 +243,19 @@ class OrionContext:
             validate: run the serializability validator every epoch (tests).
             prefetch: ``"auto"`` or ``"none"`` (bulk prefetch of
                 server-array reads).
-            cache_prefetch: cache prefetch indices across epochs.
+            cache_prefetch: cache prefetch indices across epochs (default
+                on; pass ``False`` to model uncached prefetch requests).
             concurrency: ``"serial"`` (deterministic linearization) or
                 ``"threads"`` (same-step blocks run on a thread pool).
+            kernel: optional batched block kernel
+                ``kernel(block_entries, kctx)`` producing bit-identical
+                state and accounting to the scalar body (see
+                :mod:`repro.runtime.kernels`); used when the plan proves
+                whole-block batching legal, scalar fallback otherwise.
+            equivalence_check: run the first kernel-eligible block through
+                both paths and fail loudly on any state or accounting
+                difference (tests; the block runs twice, so the body must
+                be RNG-free and apply UDFs must not hold external state).
         """
 
         def decorate(body: Callable[..., Any]) -> ParallelLoop:
@@ -260,6 +272,8 @@ class OrionContext:
                 prefetch=prefetch,
                 cache_prefetch=cache_prefetch,
                 concurrency=concurrency,
+                kernel=kernel,
+                equivalence_check=equivalence_check,
             )
             return ParallelLoop(self, body, info, plan, executor)
 

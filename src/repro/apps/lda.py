@@ -108,6 +108,7 @@ def build_orion_program(
     parallelism: str = "2d",
     seed: int = 0,
     label: Optional[str] = None,
+    use_kernel: bool = True,
     **loop_opts,
 ) -> OrionProgram:
     """Build the LDA Orion program.
@@ -118,6 +119,15 @@ def build_orion_program(
     *word-topic* updates routed through a buffer as well — trading the
     word-dimension dependences for a single-phase schedule (useful when
     the word dimension is too small or skewed to partition well).
+
+    ``use_kernel`` registers a batched block kernel.  Gibbs sampling is
+    token-sequential (each draw conditions on the previous one, through a
+    shared RNG), so the kernel keeps the exact token loop and instead
+    removes the per-entry broker dispatch: direct dense row access, one
+    bulk buffer merge per block, and memoized traffic declarations.  The
+    RNG consumption order is unchanged, so samples — and therefore all
+    counts — are identical to the scalar path.  Note ``equivalence_check``
+    cannot be used with LDA: replaying a block advances the shared RNG.
     """
     if parallelism not in ("2d", "1d"):
         raise ValueError(f"unknown LDA parallelism {parallelism!r}")
@@ -177,6 +187,58 @@ def build_orion_program(
             doc_topic[key[0], :] = dt_row
             word_topic[key[1], :] = wt_row
             assignments[key[0], key[1]] = tokens
+
+        def kernel(block, kctx):
+            keys = kctx.cache.get("keys")
+            if keys is None:
+                kctx.cache["keys"] = keys = [key for key, _count in block]
+            dtd, wtd = doc_topic.values, word_topic.values
+            tsd = topic_sum.values
+            buf_keys: list = []
+            buf_vals: list = []
+            for doc, word in keys:
+                tokens = assignments.get((doc, word))
+                dt_row = dtd[doc, :].copy()
+                wt_row = wtd[word, :].copy()
+                totals = tsd.copy()
+                for position in range(len(tokens)):
+                    old = int(tokens[position])
+                    dt_row[old] -= 1.0
+                    wt_row[old] -= 1.0
+                    totals[old] -= 1.0
+                    probs = (dt_row + alpha) * (wt_row + beta) / (totals + vbeta)
+                    probs = np.maximum(probs, 0.0)
+                    scale = probs.sum()
+                    if scale <= 0.0:
+                        new = old
+                    else:
+                        new = int(
+                            np.searchsorted(
+                                np.cumsum(probs), rng.random() * scale
+                            )
+                        )
+                        new = min(new, len(probs) - 1)
+                    dt_row[new] += 1.0
+                    wt_row[new] += 1.0
+                    totals[new] += 1.0
+                    if new != old:
+                        buf_keys.append(old)
+                        buf_vals.append(-1.0)
+                        buf_keys.append(new)
+                        buf_vals.append(1.0)
+                    tokens[position] = new
+                dtd[doc, :] = dt_row
+                wtd[word, :] = wt_row
+            kctx.buffer_add(topic_buf, buf_keys, buf_vals)
+            docs = [key[0] for key in keys]
+            words = [key[1] for key in keys]
+            kctx.account_point_reads(assignments, keys)
+            kctx.account_row_reads(doc_topic, docs)
+            kctx.account_row_reads(word_topic, words)
+            kctx.account_full_reads(topic_sum, len(keys))
+            kctx.account_row_writes(doc_topic, docs)
+            kctx.account_row_writes(word_topic, words)
+            kctx.account_point_writes(assignments, keys)
     else:
         # 1D over documents: doc-topic counts stay dependence-preserved
         # (pinned by key[0]); word-topic updates are buffered — an extra,
@@ -216,7 +278,69 @@ def build_orion_program(
             doc_topic[key[0], :] = dt_row
             assignments[key[0], key[1]] = tokens
 
-    loop = ctx.parallel_for(corpus, ordered=ordered, **loop_opts)(body)
+        def kernel(block, kctx):
+            keys = kctx.cache.get("keys")
+            if keys is None:
+                kctx.cache["keys"] = keys = [key for key, _count in block]
+            dtd, wtd = doc_topic.values, word_topic.values
+            tsd = topic_sum.values
+            topic_keys: list = []
+            topic_vals: list = []
+            word_keys: list = []
+            word_vals: list = []
+            for doc, word in keys:
+                tokens = assignments.get((doc, word))
+                dt_row = dtd[doc, :].copy()
+                wt_row = wtd[word, :].copy()
+                totals = tsd.copy()
+                for position in range(len(tokens)):
+                    old = int(tokens[position])
+                    dt_row[old] -= 1.0
+                    wt_row[old] -= 1.0
+                    totals[old] -= 1.0
+                    probs = (dt_row + alpha) * (wt_row + beta) / (totals + vbeta)
+                    probs = np.maximum(probs, 0.0)
+                    scale = probs.sum()
+                    if scale <= 0.0:
+                        new = old
+                    else:
+                        new = int(
+                            np.searchsorted(
+                                np.cumsum(probs), rng.random() * scale
+                            )
+                        )
+                        new = min(new, len(probs) - 1)
+                    dt_row[new] += 1.0
+                    wt_row[new] += 1.0
+                    totals[new] += 1.0
+                    if new != old:
+                        topic_keys.append(old)
+                        topic_vals.append(-1.0)
+                        topic_keys.append(new)
+                        topic_vals.append(1.0)
+                        word_keys.append((word, old))
+                        word_vals.append(-1.0)
+                        word_keys.append((word, new))
+                        word_vals.append(1.0)
+                    tokens[position] = new
+                dtd[doc, :] = dt_row
+            kctx.buffer_add(topic_buf, topic_keys, topic_vals)
+            kctx.buffer_add(word_buf, word_keys, word_vals)
+            docs = [key[0] for key in keys]
+            words = [key[1] for key in keys]
+            kctx.account_point_reads(assignments, keys)
+            kctx.account_row_reads(doc_topic, docs)
+            kctx.account_row_reads(word_topic, words)
+            kctx.account_full_reads(topic_sum, len(keys))
+            kctx.account_row_writes(doc_topic, docs)
+            kctx.account_point_writes(assignments, keys)
+
+    loop = ctx.parallel_for(
+        corpus,
+        ordered=ordered,
+        kernel=kernel if use_kernel else None,
+        **loop_opts,
+    )(body)
 
     def loss_fn() -> float:
         return -lda_log_likelihood(

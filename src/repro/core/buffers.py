@@ -121,6 +121,27 @@ class DistArrayBuffer:
         else:
             slot[key] = value
 
+    def direct_buffer_write_many(self, indices: Any, values: Any) -> None:
+        """Record many writes in one call, merging in iteration order.
+
+        Semantically identical to N :meth:`direct_buffer_write` calls (the
+        combiner is applied left-to-right in the order given), but resolves
+        the worker slot and method lookups once — the batched-kernel fast
+        path uses this to flush a whole block's gradient contributions.
+        """
+        worker = access.current_worker()
+        slot = self._pending.setdefault(worker, {})
+        combiner = self.combiner
+        for index, value in zip(indices, values):
+            if isinstance(index, tuple):
+                key = _canonical_key(index)
+            else:
+                key = (int(index),)
+            if key in slot:
+                slot[key] = combiner(slot[key], value)
+            else:
+                slot[key] = value
+
     def __getitem__(self, index: Any) -> Any:
         """Read the pending update at ``index`` for the current worker.
 

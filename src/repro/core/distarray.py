@@ -29,9 +29,13 @@ import numpy as np
 from repro.core import access
 from repro.errors import CheckpointError, MaterializationError, SubscriptError
 
-__all__ = ["DistArray", "Recipe", "parse_dense_line", "key_value_entries"]
+__all__ = ["DistArray", "Recipe", "parse_dense_line", "key_value_entries", "MISSING"]
 
 _name_counter = itertools.count()
+
+#: Sentinel distinguishing "no default" from ``default=None`` in the fast
+#: sparse read path (:meth:`DistArray.bulk_get`).
+MISSING = object()
 
 
 def _fresh_name(prefix: str) -> str:
@@ -384,6 +388,102 @@ class DistArray:
         if not self.sparse:
             raise SubscriptError("contains() applies to sparse DistArrays")
         return self._point_key(index) in self._entries
+
+    # ------------------------------------------------------------------ #
+    # Bulk element access (the executor's batched-kernel fast path)       #
+    # ------------------------------------------------------------------ #
+
+    def bulk_get(self, keys: Sequence[Any], default: Any = MISSING) -> List[Any]:
+        """Read many point subscripts in one call.
+
+        Sparse arrays use a single dict lookup per key with no per-element
+        exception handling (``try/except KeyError`` in :meth:`direct_get`
+        dominates hot loops); a missing key returns ``default`` when one is
+        given and raises :class:`SubscriptError` otherwise.  Dense arrays
+        serve each key from the backing ndarray.  Accounting is the
+        caller's job — brokers wrap this via ``AccessBroker.bulk_read``.
+        """
+        self._require_materialized()
+        if not self.sparse:
+            dense = self._dense
+            return [dense[key] for key in keys]
+        entries = self._entries
+        getter = entries.get
+        out: List[Any] = []
+        for key in keys:
+            if not isinstance(key, tuple):
+                key = (key,)
+            value = getter(key, MISSING)
+            if value is MISSING:
+                value = getter(self._point_key(key), MISSING)
+            if value is MISSING:
+                if default is MISSING:
+                    raise SubscriptError(
+                        f"{self.name}[{key}] is not a stored entry"
+                    )
+                value = default
+            out.append(value)
+        return out
+
+    def bulk_set(self, keys: Sequence[Any], values: Sequence[Any]) -> None:
+        """Write many point subscripts in one call (see :meth:`bulk_get`)."""
+        self._require_materialized()
+        if len(keys) != len(values):
+            raise SubscriptError(
+                f"bulk_set on {self.name}: {len(keys)} keys vs "
+                f"{len(values)} values"
+            )
+        if not self.sparse:
+            dense = self._dense
+            for key, value in zip(keys, values):
+                dense[key] = value
+            return
+        entries = self._entries
+        for key, value in zip(keys, values):
+            if not isinstance(key, tuple):
+                key = (key,)
+            entries[self._point_key(key)] = value
+
+    def dense_columns(self, cols: Sequence[int]) -> np.ndarray:
+        """Gather ``self[:, cols]`` as one fancy-indexed matrix (dense 2-D).
+
+        One vectorized NumPy gather replaces ``len(cols)`` point slice
+        reads; the result is a copy (mutating it does not write back — use
+        :meth:`set_dense_columns`).
+        """
+        self._require_materialized()
+        if self.sparse or self._dense.ndim != 2:
+            raise SubscriptError(
+                f"dense_columns applies to dense 2-D arrays, not {self.name}"
+            )
+        return self._dense[:, cols]
+
+    def set_dense_columns(self, cols: Sequence[int], values: np.ndarray) -> None:
+        """Scatter ``values`` into ``self[:, cols]`` in one vectorized write."""
+        self._require_materialized()
+        if self.sparse or self._dense.ndim != 2:
+            raise SubscriptError(
+                f"set_dense_columns applies to dense 2-D arrays, not {self.name}"
+            )
+        self._dense[:, cols] = values
+
+    def dense_rows(self, rows: Sequence[int]) -> np.ndarray:
+        """Gather ``self[rows, :]`` as one fancy-indexed matrix (dense 2-D)."""
+        self._require_materialized()
+        if self.sparse or self._dense.ndim != 2:
+            raise SubscriptError(
+                f"dense_rows applies to dense 2-D arrays, not {self.name}"
+            )
+        return self._dense[rows, :]
+
+    def set_dense_rows(self, rows: Sequence[int], values: np.ndarray) -> None:
+        """Scatter ``values`` into ``self[rows, :]`` in one vectorized write."""
+        self._require_materialized()
+        if self.sparse or self._dense.ndim != 2:
+            raise SubscriptError(
+                f"set_dense_rows applies to dense 2-D arrays, not {self.name}"
+            )
+        self._dense[rows, :] = values
 
     def _point_key(self, index: Any) -> Tuple[int, ...]:
         if not isinstance(index, tuple):

@@ -1,0 +1,198 @@
+"""Batched-kernel execution support (the executor's vectorized fast path).
+
+The scalar execution path runs ``body(key, value)`` once per sparse entry,
+funnelling every DistArray element access through ``__getitem__`` → broker
+→ per-element lookups.  Once the plan has proven a block safe to execute
+as one sequential unit, that per-entry dispatch is pure overhead: an app
+may instead register a *kernel* — ``kernel(block_entries, kctx)`` — that
+applies the same updates with bulk NumPy operations over the whole block.
+
+The contract a kernel must satisfy:
+
+* **Bit-identical state**: after the kernel runs, every DistArray and
+  DistArray Buffer must hold exactly the values the scalar body loop would
+  have produced for the same block in entry order.  (In practice: vectorize
+  elementwise arithmetic freely — NumPy broadcasting applies the same
+  per-element operation chain — but keep reductions such as dot products
+  in the scalar body's exact form, and split entries that touch the same
+  parameter into sequential conflict-free groups, see
+  :func:`conflict_free_groups`.)
+* **Identical accounting**: declare every DistArray access the body would
+  have made through the :class:`KernelContext` ``account_*`` methods, so
+  traffic counters and the serializability validator see the same numbers
+  as the scalar path.
+* **Determinism**: per block, the same ``account_*`` call sequence every
+  epoch (the declarations are memoized across epochs).
+
+Kernels are only invoked when the plan legally permits block-batched
+execution (see ``OrionExecutor``); otherwise the scalar body runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.distarray import DistArray
+from repro.runtime.pserver import index_nbytes
+
+__all__ = ["KernelContext", "conflict_free_groups", "normalize_index"]
+
+_FULL = slice(None)
+
+
+def normalize_index(index: Any) -> Tuple[Any, ...]:
+    """Hashable normal form of a subscript, as the validator records it."""
+    if not isinstance(index, tuple):
+        index = (index,)
+    out: List[Any] = []
+    for item in index:
+        if isinstance(item, slice):
+            out.append(("range", item.start, item.stop))
+        else:
+            out.append(("pt", int(item)))
+    return tuple(out)
+
+
+def conflict_free_groups(
+    rows: Sequence[int], cols: Sequence[int]
+) -> List[Tuple[int, int]]:
+    """Split entries into maximal runs with no repeated row or column.
+
+    Within such a run, every entry reads and writes parameter columns no
+    other run member touches, so a vectorized gather-update-scatter over
+    the run is exactly the sequential per-entry execution.  Runs are
+    returned as half-open ``(lo, hi)`` index ranges into the input order;
+    executing runs in order preserves the scalar path's update sequence
+    for conflicting entries.
+    """
+    groups: List[Tuple[int, int]] = []
+    lo = 0
+    seen_rows: set = set()
+    seen_cols: set = set()
+    for position in range(len(rows)):
+        row, col = rows[position], cols[position]
+        if row in seen_rows or col in seen_cols:
+            groups.append((lo, position))
+            lo = position
+            seen_rows = {row}
+            seen_cols = {col}
+        else:
+            seen_rows.add(row)
+            seen_cols.add(col)
+    if lo < len(rows):
+        groups.append((lo, len(rows)))
+    return groups
+
+
+class KernelContext:
+    """Handed to an app kernel for one block execution.
+
+    Provides bulk data movement (:meth:`bulk_read`, :meth:`bulk_write`,
+    :meth:`buffer_add`) and accounting-only declarations (``account_*``)
+    for kernels that read and write the dense backing arrays directly.
+    Accounting declarations reproduce exactly what the scalar body's
+    per-element broker traffic would have recorded — server read counts
+    and bytes, and (in validation mode) the normalized access records the
+    serializability checker consumes.
+
+    Attributes:
+        worker: the simulated worker executing the block.
+        cache: a per-block dict that persists across epochs — kernels use
+            it to memoize index arrays, conflict-free groups, and anything
+            else derivable from the (immutable) block entry list.
+    """
+
+    def __init__(self, broker: Any, worker: int, cache: Dict[Any, Any]) -> None:
+        self.broker = broker
+        self.worker = worker
+        self.cache = cache
+        self._seq = 0
+
+    # ---------------- bulk data movement ------------------------------- #
+
+    def bulk_read(self, array: DistArray, indices: Sequence[Any]) -> Any:
+        """Accounted bulk point/set read through the broker."""
+        return self.broker.bulk_read(array, indices)
+
+    def bulk_write(
+        self, array: DistArray, indices: Sequence[Any], values: Sequence[Any]
+    ) -> None:
+        """Accounted bulk point/set write through the broker."""
+        self.broker.bulk_write(array, indices, values)
+
+    def buffer_add(
+        self, buffer: Any, indices: Sequence[Any], values: Sequence[Any]
+    ) -> None:
+        """Merge many writes into a DistArray Buffer, in order (exactly N
+        scalar buffered writes)."""
+        self.broker.bulk_buffer_write(buffer, indices, values)
+
+    # ---------------- accounting-only declarations --------------------- #
+    #
+    # Each call declares the accesses the scalar body would have made; the
+    # derived quantities (byte totals, normalized records) are memoized in
+    # the block cache under the call's sequence number, so epochs after the
+    # first pay one dict lookup per declaration.
+
+    def account_point_reads(self, array: DistArray, keys: Sequence[Any]) -> None:
+        """Declare N point reads (``array[key]`` per key)."""
+        self._account(array, False, lambda: list(keys))
+
+    def account_point_writes(self, array: DistArray, keys: Sequence[Any]) -> None:
+        """Declare N point writes."""
+        self._account(array, True, lambda: list(keys))
+
+    def account_col_reads(self, array: DistArray, cols: Sequence[int]) -> None:
+        """Declare N whole-column reads (``array[:, c]`` per c)."""
+        self._account(array, False, lambda: [(_FULL, int(c)) for c in cols])
+
+    def account_col_writes(self, array: DistArray, cols: Sequence[int]) -> None:
+        """Declare N whole-column writes."""
+        self._account(array, True, lambda: [(_FULL, int(c)) for c in cols])
+
+    def account_row_reads(self, array: DistArray, rows: Sequence[int]) -> None:
+        """Declare N whole-row reads (``array[r, :]`` per r)."""
+        self._account(array, False, lambda: [(int(r), _FULL) for r in rows])
+
+    def account_row_writes(self, array: DistArray, rows: Sequence[int]) -> None:
+        """Declare N whole-row writes."""
+        self._account(array, True, lambda: [(int(r), _FULL) for r in rows])
+
+    def account_full_reads(self, array: DistArray, count: int) -> None:
+        """Declare ``count`` full-array reads (``array[:]`` per entry)."""
+        self._account(array, False, lambda: [_FULL] * count)
+
+    # ---------------- internals ---------------------------------------- #
+
+    def _account(
+        self,
+        array: DistArray,
+        write: bool,
+        build_indices: Callable[[], List[Any]],
+    ) -> None:
+        broker = self.broker
+        tag = ("acct", self._seq, array.name, write)
+        self._seq += 1
+        cached = self.cache.get(tag)
+        if cached is None:
+            indices = build_indices()
+            count = len(indices)
+            nbytes = 0
+            if not write:
+                nbytes = sum(index_nbytes(array, index) for index in indices)
+            records: Optional[List[Tuple[str, Tuple[Any, ...], bool]]] = None
+            if broker.validate:
+                name = array.name
+                records = [
+                    (name, normalize_index(index), write) for index in indices
+                ]
+            self.cache[tag] = cached = (count, nbytes, records)
+        count, nbytes, records = cached
+        stats = broker.stats
+        if not write and id(array) in broker.server_ids:
+            stats.server_reads += count
+            stats.server_read_bytes += nbytes
+        if records is not None:
+            stats.accesses.extend(records)
