@@ -1,10 +1,26 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke clean
+.PHONY: check compile test trace-smoke bench-smoke clean
+
+## Default verification: imports compile, tier-1 tests pass, and the
+## tracing pipeline produces a loadable Perfetto trace end to end.
+check: compile test trace-smoke
+
+compile:
+	$(PYTHON) -m compileall -q src
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Run the quickstart with tracing enabled and validate the exported
+## trace.json against the Chrome trace-event schema.
+trace-smoke:
+	REPRO_TRACE=trace.json $(PYTHON) examples/quickstart.py > /dev/null
+	$(PYTHON) -c "import json; from repro.obs import validate_chrome_trace; \
+	trace = json.load(open('trace.json')); problems = validate_chrome_trace(trace); \
+	assert not problems, problems; \
+	print('trace.json ok:', len(trace['traceEvents']), 'events')"
 
 ## Wall-clock kernel-vs-scalar throughput; writes BENCH_wallclock.json.
 bench-smoke:
@@ -12,4 +28,4 @@ bench-smoke:
 
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +
-	rm -rf .pytest_cache
+	rm -rf .pytest_cache trace.json

@@ -7,16 +7,29 @@ pins one factor matrix to workers and rotates the other — no manual
 scheduling, partitioning or communication code.
 
 Run:  python examples/quickstart.py
+
+Set ``REPRO_TRACE=trace.json`` to additionally record the run on the
+virtual timeline and write a Chrome-trace/Perfetto JSON there (open it in
+`ui.perfetto.dev`; see docs/observability.md).  ``make trace-smoke`` uses
+exactly this path.
 """
 
+import os
+
 from repro import ClusterSpec, OrionContext
+from repro.obs import MetricsRegistry, Tracer, straggler_report, write_chrome_trace
 from repro.data import netflix_like
 
 # A small synthetic rating matrix (a Netflix stand-in: low rank + noise).
 dataset = netflix_like(num_rows=120, num_cols=90, num_ratings=5000, seed=7)
 
+trace_path = os.environ.get("REPRO_TRACE")
+tracer = Tracer() if trace_path else None
+metrics = MetricsRegistry() if trace_path else None
+
 ctx = OrionContext(
-    cluster=ClusterSpec(num_machines=2, workers_per_machine=4), seed=1
+    cluster=ClusterSpec(num_machines=2, workers_per_machine=4), seed=1,
+    tracer=tracer, metrics=metrics,
 )
 
 # DistArray creation is lazy; materialize() evaluates (and fuses maps).
@@ -69,3 +82,8 @@ for epoch in range(1, 11):
 
 print(f"\ntotal virtual time: {ctx.now * 1e3:.1f} ms")
 print(f"total network traffic: {ctx.traffic.total_bytes / 1e3:.1f} KB")
+
+if tracer is not None:
+    write_chrome_trace(tracer, trace_path)
+    print(f"\ntrace written to {trace_path} (open in ui.perfetto.dev)")
+    print(straggler_report(tracer, metrics))

@@ -41,6 +41,8 @@ from repro.analysis.strategy import Plan, choose_plan
 from repro.core.accumulator import Accumulator, AccumulatorRegistry
 from repro.core.buffers import DistArrayBuffer, default_apply
 from repro.core.distarray import DistArray, parse_dense_line
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.executor import EpochResult, OrionExecutor
 from repro.runtime.network import TrafficLog
@@ -75,7 +77,7 @@ class ParallelLoop:
         recording traffic on the context's log."""
         results = []
         for _ in range(epochs):
-            result = self.executor.run_epoch()
+            result = self.executor.run_epoch(t0=self.ctx.now)
             self.ctx._absorb(result)
             results.append(result)
         return results
@@ -98,15 +100,24 @@ class OrionContext:
             examples run instantly (the paper's figures use
             ``ClusterSpec.paper_default()``).
         seed: base seed for random array initialization.
+        tracer: observability tracer shared by every loop this context
+            builds (default: the disabled
+            :data:`~repro.obs.tracer.NULL_TRACER`, zero overhead).
+        metrics: observability metrics registry shared by every loop
+            (default: the disabled :data:`~repro.obs.metrics.NULL_METRICS`).
     """
 
     def __init__(
         self,
         cluster: Optional[ClusterSpec] = None,
         seed: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.cluster = cluster or ClusterSpec(num_machines=1, workers_per_machine=4)
         self.seed = seed
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.accumulators = AccumulatorRegistry()
         self.traffic = TrafficLog()
         #: Cumulative virtual seconds spent in parallel loops.
@@ -225,6 +236,9 @@ class OrionContext:
         concurrency: str = "serial",
         kernel: Optional[Callable[..., Any]] = None,
         equivalence_check: bool = False,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace_process: str = "orion",
     ) -> Callable[[Callable[..., Any]], ParallelLoop]:
         """Parallelize a loop body over ``iteration_space``.
 
@@ -256,6 +270,9 @@ class OrionContext:
                 both paths and fail loudly on any state or accounting
                 difference (tests; the block runs twice, so the body must
                 be RNG-free and apply UDFs must not hold external state).
+            tracer: per-loop tracer override (defaults to the context's).
+            metrics: per-loop metrics override (defaults to the context's).
+            trace_process: Perfetto process label for this loop's spans.
         """
 
         def decorate(body: Callable[..., Any]) -> ParallelLoop:
@@ -274,6 +291,9 @@ class OrionContext:
                 concurrency=concurrency,
                 kernel=kernel,
                 equivalence_check=equivalence_check,
+                tracer=tracer if tracer is not None else self.tracer,
+                metrics=metrics if metrics is not None else self.metrics,
+                trace_process=trace_process,
             )
             return ParallelLoop(self, body, info, plan, executor)
 

@@ -62,15 +62,39 @@ class OrionProgram:
         return self.train_loop.plan if self.train_loop is not None else None
 
     def run(self, epochs: int) -> RunHistory:
-        """Train for ``epochs`` data passes, measuring loss after each."""
+        """Train for ``epochs`` data passes, measuring loss after each.
+
+        The history surfaces the executor's observability output: each
+        record carries the pass's worker utilization, and ``meta`` gains
+        ``kernel_path`` (whether the batched-kernel fast path ran) plus the
+        live ``tracer``/``metrics`` objects when tracing is enabled, so
+        benchmarks opt in with one flag and export afterwards.
+        """
         history = RunHistory(label=self.label, traffic=self.ctx.traffic)
         history.meta["initial_loss"] = self.loss_fn()
         history.meta.update(self.meta)
+        executor = (
+            self.train_loop.executor if self.train_loop is not None else None
+        )
+        if executor is not None:
+            history.meta["kernel_path"] = executor.kernel_path
+            if executor.tracer.enabled:
+                history.meta["tracer"] = executor.tracer
+            if executor.metrics.enabled:
+                history.meta["metrics"] = executor.metrics
         for _ in range(epochs):
             results = self.epoch_fn()
             epoch_time = sum(result.epoch_time_s for result in results)
             nbytes = sum(result.bytes_sent for result in results)
-            history.append(self.loss_fn(), epoch_time, nbytes)
+            # Utilization of the pass: busy worker-seconds over capacity,
+            # i.e. the makespan-weighted mean of per-loop utilizations.
+            busy = sum(
+                result.utilization * result.epoch_time_s for result in results
+            )
+            utilization = busy / epoch_time if epoch_time > 0 else 0.0
+            history.append(
+                self.loss_fn(), epoch_time, nbytes, utilization=utilization
+            )
         return history
 
 

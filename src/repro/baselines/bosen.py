@@ -21,6 +21,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.apps.base import Entry, SerialApp
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.history import RunHistory
 
@@ -59,6 +61,9 @@ def run_bosen(
     seed: int = 0,
     syncs_per_epoch: int = 1,
     label: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    trace_process: str = "bosen",
 ) -> RunHistory:
     """Train ``app`` with Bösen data parallelism on ``cluster``.
 
@@ -66,7 +71,15 @@ def run_bosen(
         syncs_per_epoch: synchronization barriers per data pass (Bösen's
             default configuration in the paper synchronizes after the whole
             local partition, i.e. 1).
+        tracer: observability tracer; per-worker shard spans and sync
+            transfers are placed on the virtual timeline under the
+            ``trace_process`` process, comparable side by side with Orion
+            traces in one Perfetto file.
+        metrics: observability metrics registry.
+        trace_process: Perfetto process label for this run's spans.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = metrics if metrics is not None else NULL_METRICS
     workers = cluster.num_workers
     state = app.init_state(seed)
     shards = shard_entries(list(app.entries()), workers, seed)
@@ -78,13 +91,16 @@ def run_bosen(
     history.meta["initial_loss"] = app.loss(state)
     clock = 0.0
 
-    for _epoch in range(epochs):
+    for epoch in range(epochs):
         epoch_bytes = 0.0
         epoch_start = clock
+        epoch_busy = 0.0
         for sync in range(syncs_per_epoch):
+            sync_start = clock
             base = app.clone_state(state)
             replicas = []
             slowest = 0.0
+            sync_entries = 0
             for worker in range(workers):
                 shard = shards[worker]
                 lo = len(shard) * sync // syncs_per_epoch
@@ -93,7 +109,20 @@ def run_bosen(
                 for key, value in shard[lo:hi]:
                     app.apply_entry(replica, key, value)
                 replicas.append(replica)
-                slowest = max(slowest, (hi - lo) * entry_cost)
+                work = (hi - lo) * entry_cost
+                slowest = max(slowest, work)
+                epoch_busy += work
+                sync_entries += hi - lo
+                tracer.add_span(
+                    f"shard[{worker}] sync {sync}",
+                    "block",
+                    sync_start,
+                    sync_start + work,
+                    track=f"worker{worker}",
+                    process=trace_process,
+                    args={"entries": hi - lo},
+                )
+            metrics.counter("entries_total").inc(sync_entries)
             _merge_deltas(state, base, replicas)
             # Per machine: push aggregated deltas, pull fresh values.
             per_machine_bytes = 2.0 * model_nbytes
@@ -101,8 +130,42 @@ def run_bosen(
             transfer = cluster.network.transfer_time(per_machine_bytes)
             clock += slowest
             history.traffic.record(clock, clock + transfer, sync_bytes, "sync")
+            tracer.add_span(
+                "sync",
+                "sync",
+                clock,
+                clock + transfer,
+                track="net:sync",
+                process=trace_process,
+                args={"nbytes": sync_bytes},
+            )
+            metrics.counter("traffic_bytes_sync").inc(sync_bytes)
             clock += transfer + cluster.cost.sync_overhead_s
+            tracer.add_span(
+                "barrier",
+                "barrier",
+                clock - cluster.cost.sync_overhead_s,
+                clock,
+                track="epochs",
+                process=trace_process,
+                depth=1,
+            )
             epoch_bytes += sync_bytes
-        history.append(app.loss(state), clock - epoch_start, epoch_bytes)
+        epoch_time = clock - epoch_start
+        capacity = workers * epoch_time
+        utilization = epoch_busy / capacity if capacity > 0 else 0.0
+        tracer.add_span(
+            f"epoch {epoch + 1}",
+            "epoch",
+            epoch_start,
+            clock,
+            track="epochs",
+            process=trace_process,
+            args={"utilization": utilization, "bytes_sent": epoch_bytes},
+        )
+        metrics.counter("epochs_total").inc()
+        history.append(
+            app.loss(state), epoch_time, epoch_bytes, utilization=utilization
+        )
     history.meta["state"] = state
     return history

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.apps.base import SerialApp
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.history import RunHistory
 from repro.runtime.simtime import CostModel
 
@@ -23,14 +24,19 @@ def run_serial(
     cost: Optional[CostModel] = None,
     label: Optional[str] = None,
     shuffle_each_epoch: bool = False,
+    tracer: Optional[Tracer] = None,
+    trace_process: str = "serial",
 ) -> RunHistory:
     """Train ``app`` serially for ``epochs`` data passes.
 
     Virtual time per pass is simply ``entries × entry_cost`` — no
-    communication, no synchronization, no abstraction overhead.
+    communication, no synchronization, no abstraction overhead.  The lone
+    worker is always busy, so every record reports utilization 1.0 (and the
+    optional ``tracer`` gets one back-to-back block span per pass).
     """
     import numpy as np
 
+    tracer = tracer if tracer is not None else NULL_TRACER
     cost = cost or CostModel()
     state = app.init_state(seed)
     entries = list(app.entries())
@@ -38,7 +44,8 @@ def run_serial(
     history = RunHistory(label=label or f"Serial {app.name}")
     history.meta["initial_loss"] = app.loss(state)
     rng = np.random.default_rng(seed)
-    for _epoch in range(epochs):
+    clock = 0.0
+    for epoch in range(epochs):
         if shuffle_each_epoch:
             order: List[int] = rng.permutation(len(entries)).tolist()
         else:
@@ -46,6 +53,17 @@ def run_serial(
         for position in order:
             key, value = entries[position]
             app.apply_entry(state, key, value)
-        history.append(app.loss(state), len(entries) * entry_cost)
+        epoch_time = len(entries) * entry_cost
+        tracer.add_span(
+            f"epoch {epoch + 1}",
+            "block",
+            clock,
+            clock + epoch_time,
+            track="worker0",
+            process=trace_process,
+            args={"entries": len(entries)},
+        )
+        clock += epoch_time
+        history.append(app.loss(state), epoch_time, utilization=1.0)
     history.meta["state"] = state
     return history

@@ -48,11 +48,12 @@ def strads_cluster(
 
 
 def run_strads(
-    build_program: Callable[[ClusterSpec], OrionProgram],
+    build_program: Callable[..., OrionProgram],
     base_cluster: ClusterSpec,
     epochs: int,
     speed_factor: float = 1.0,
     label: Optional[str] = None,
+    builder_opts: Optional[dict] = None,
 ) -> RunHistory:
     """Run a manually model-parallel (STRADS) version of a program.
 
@@ -60,8 +61,15 @@ def run_strads(
     dataset/hyperparameters; it is rebuilt against the STRADS-tuned cluster
     so schedules and semantics are identical and only implementation
     constants differ.
+
+    Args:
+        builder_opts: extra keyword arguments forwarded to the builder —
+            e.g. ``{"tracer": tracer, "trace_process": "strads"}`` to place
+            this run's spans next to Orion's in one trace file.
     """
-    program = build_program(strads_cluster(base_cluster, speed_factor))
+    program = build_program(
+        strads_cluster(base_cluster, speed_factor), **(builder_opts or {})
+    )
     history = program.run(epochs)
     history.label = label or f"STRADS {program.label.replace('Orion ', '')}"
     return history

@@ -10,11 +10,23 @@ Run any application under any engine and print the per-pass history::
 Engines: ``serial``, ``orion``, ``orion-ordered``, ``bosen``, ``cm``
 (managed communication), ``strads``, ``tf`` (mini-batch), ``tux2``
 (MF only), or ``all``.
+
+Observability (see ``docs/observability.md``)::
+
+    python -m repro.cli mf --engine all --trace trace.json --report
+    python -m repro.cli mf --history-out history.json
+
+``--trace`` writes a Chrome-trace/Perfetto JSON of the run's virtual
+timeline (open in `ui.perfetto.dev`; with ``--engine all`` every engine
+appears as its own process, side by side).  ``--report`` prints a
+straggler/utilization summary.  ``--history-out`` writes the run histories
+as machine-readable JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional
 
@@ -47,12 +59,23 @@ from repro.data import (
     regression_table,
     sparse_classification,
 )
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    add_traffic_spans,
+    straggler_report,
+    write_chrome_trace,
+)
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.history import RunHistory
 
 __all__ = ["main", "build_parser"]
 
 ENGINES = ["serial", "orion", "orion-ordered", "bosen", "cm", "strads", "tf", "tux2"]
+
+#: Engines with native tracer support; the rest get network tracks lifted
+#: from their TrafficLog after the run.
+_NATIVELY_TRACED = {"serial", "orion", "orion-ordered", "bosen", "strads"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +103,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--plot", action="store_true",
         help="render ASCII loss curves alongside the tables",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome-trace/Perfetto JSON of the virtual timeline",
+    )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="print a straggler/utilization report after the run",
+    )
+    parser.add_argument(
+        "--history-out", metavar="PATH", default=None,
+        help="write run histories (records+traffic+meta) as JSON",
     )
     return parser
 
@@ -156,30 +191,46 @@ def _dataset_and_builders(args):
 
 
 def _run_engine(
-    engine: str, args, cluster: ClusterSpec, builder, app
+    engine: str, args, cluster: ClusterSpec, builder, app,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Optional[RunHistory]:
+    obs_opts = {}
+    if tracer is not None:
+        obs_opts = {"tracer": tracer, "metrics": metrics}
     if engine == "serial":
         if app is None:
             return None
-        return run_serial(app, args.epochs, seed=args.seed, cost=cluster.cost)
+        return run_serial(
+            app, args.epochs, seed=args.seed, cost=cluster.cost,
+            tracer=tracer,
+        )
     if engine == "orion":
-        return builder(cluster).run(args.epochs)
+        return builder(cluster, **obs_opts).run(args.epochs)
     if engine == "orion-ordered":
         try:
-            return builder(cluster, ordered=True).run(args.epochs)
+            return builder(
+                cluster, ordered=True,
+                **dict(obs_opts, trace_process="orion-ordered")
+                if obs_opts else {},
+            ).run(args.epochs)
         except TypeError:
             return None  # app builder has no ordered mode (GBT)
     if app is None:
         return None  # remaining engines need the numpy app form
     if engine == "bosen":
-        return run_bosen(app, cluster, args.epochs, seed=args.seed)
+        return run_bosen(app, cluster, args.epochs, seed=args.seed, **obs_opts)
     if engine == "cm":
         return run_managed_comm(
             app, cluster, args.epochs, bandwidth_budget_mbps=1600,
             seed=args.seed,
         )
     if engine == "strads":
-        return run_strads(builder, cluster, args.epochs)
+        return run_strads(
+            builder, cluster, args.epochs,
+            builder_opts=dict(obs_opts, trace_process="strads")
+            if obs_opts else None,
+        )
     if engine == "tf":
         if not isinstance(app, SGDMFApp):
             return None
@@ -200,11 +251,19 @@ def _print_history(history: RunHistory, out) -> None:
     initial = history.meta.get("initial_loss")
     if initial is not None:
         out.write(f"initial loss: {initial:.6g}\n")
-    out.write(f"{'pass':>5s} {'loss':>14s} {'time (s)':>10s} {'MB sent':>9s}\n")
+    kernel_path = history.meta.get("kernel_path")
+    if kernel_path is not None:
+        path = "batched kernel" if kernel_path else "scalar body"
+        out.write(f"execution path: {path}\n")
+    out.write(
+        f"{'pass':>5s} {'loss':>14s} {'time (s)':>10s} {'MB sent':>9s} "
+        f"{'util%':>6s}\n"
+    )
     for record in history.records:
         out.write(
             f"{record.epoch:5d} {record.loss:14.6g} {record.time_s:10.4f} "
-            f"{record.bytes_sent / 1e6:9.3f}\n"
+            f"{record.bytes_sent / 1e6:9.3f} "
+            f"{record.utilization * 100:6.1f}\n"
         )
 
 
@@ -222,10 +281,17 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         **cluster_kwargs,
     )
 
+    tracing = bool(args.trace or args.report)
+    tracer = Tracer() if tracing else None
+    metrics = MetricsRegistry() if tracing else None
+
     engines = ENGINES if args.engine == "all" else [args.engine]
     results: Dict[str, RunHistory] = {}
     for engine in engines:
-        history = _run_engine(engine, args, cluster, builder, app)
+        history = _run_engine(
+            engine, args, cluster, builder, app, tracer=tracer,
+            metrics=metrics,
+        )
         if history is None:
             if args.engine != "all":
                 out.write(
@@ -233,18 +299,26 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
                 )
                 return 2
             continue
+        if tracer is not None and engine not in _NATIVELY_TRACED:
+            # Engines without native tracing still contribute network
+            # tracks, lifted from their recorded traffic.
+            add_traffic_spans(tracer, history.traffic, process=engine)
         results[engine] = history
 
     if args.engine == "all":
         out.write(
             f"{'engine':15s} {'final loss':>14s} {'s/iter':>10s} "
-            f"{'total s':>10s}\n"
+            f"{'total s':>10s} {'util%':>6s}\n"
         )
         for engine, history in results.items():
+            mean_util = (
+                sum(record.utilization for record in history.records)
+                / len(history.records) if history.records else 0.0
+            )
             out.write(
                 f"{engine:15s} {history.final_loss:14.6g} "
                 f"{history.time_per_iteration():10.4f} "
-                f"{history.total_time_s:10.4f}\n"
+                f"{history.total_time_s:10.4f} {mean_util * 100:6.1f}\n"
             )
     else:
         _print_history(next(iter(results.values())), out)
@@ -252,6 +326,25 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         from repro.tools import ascii_curves
 
         out.write("\n" + ascii_curves(list(results.values())) + "\n")
+    if args.history_out and results:
+        payload = {
+            "app": args.app,
+            "histories": {
+                engine: history.to_json()
+                for engine, history in results.items()
+            },
+        }
+        with open(args.history_out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        out.write(f"histories written to {args.history_out}\n")
+    if args.report and tracer is not None:
+        out.write("\n" + straggler_report(tracer, metrics) + "\n")
+    if args.trace and tracer is not None:
+        trace = write_chrome_trace(tracer, args.trace)
+        out.write(
+            f"trace written to {args.trace} "
+            f"({len(trace['traceEvents'])} events; open in ui.perfetto.dev)\n"
+        )
     return 0
 
 

@@ -1,0 +1,52 @@
+"""Observability for the simulated runtime: tracing, metrics, exporters.
+
+Everything in this package is aligned to the *virtual* clock the runtime
+simulates — spans are placed where the timing model put the work, not
+where the host CPU happened to run it.  See ``docs/observability.md`` for
+the span taxonomy, metric names, and how to open a trace in Perfetto.
+
+Quick use::
+
+    from repro.obs import MetricsRegistry, Tracer, write_chrome_trace
+
+    tracer, metrics = Tracer(), MetricsRegistry()
+    ctx = OrionContext(cluster=cluster, tracer=tracer, metrics=metrics)
+    ...  # build and run parallel loops
+    write_chrome_trace(tracer, "trace.json")   # open in ui.perfetto.dev
+    print(straggler_report(tracer, metrics))
+"""
+
+from repro.obs.export import (
+    add_traffic_spans,
+    chrome_trace_events,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import straggler_report, utilization_lines
+from repro.obs.tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "add_traffic_spans",
+    "straggler_report",
+    "utilization_lines",
+]

@@ -1,0 +1,133 @@
+"""Plain-text straggler / utilization reports from a trace.
+
+Aggregates a :class:`~repro.obs.tracer.Tracer`'s spans into the summary an
+operator reads before opening the full trace: per-worker busy/idle time on
+the virtual timeline, the critical-path blocks (the longest-running
+blocks — the stragglers that stretch the makespan), and the slowest
+rotation hops.  When a :class:`~repro.obs.metrics.MetricsRegistry` is
+supplied its snapshot is appended.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+__all__ = ["straggler_report", "utilization_lines"]
+
+#: Traffic categories whose spans count as transfer, not worker busy time.
+_TRAFFIC_CATS = ("rotation", "flush", "prefetch", "broadcast", "sync")
+
+
+def _fmt_seconds(value: float) -> str:
+    return f"{value * 1e3:10.3f} ms"
+
+
+def utilization_lines(tracer: Tracer, process: str) -> List[str]:
+    """Per-worker busy/idle table rows for one traced process."""
+    bounds = tracer.time_bounds(process)
+    if bounds is None:
+        return ["  (no spans recorded)"]
+    horizon = bounds[1] - bounds[0]
+    busy = tracer.busy_by_track(cat="block", process=process)
+    worker_tracks = [
+        track for track in tracer.tracks(process) if track.startswith("worker")
+    ]
+    lines = [
+        f"  {'worker':12s} {'busy':>13s} {'idle':>13s} {'util%':>7s}"
+    ]
+    for track in worker_tracks:
+        b = busy.get(track, 0.0)
+        idle = max(horizon - b, 0.0)
+        util = 100.0 * b / horizon if horizon > 0 else 0.0
+        lines.append(
+            f"  {track:12s} {_fmt_seconds(b)} {_fmt_seconds(idle)} "
+            f"{util:6.1f}%"
+        )
+    if not worker_tracks:
+        lines.append("  (no worker tracks)")
+    return lines
+
+
+def _top_spans(spans: List[Span], top: int) -> List[Span]:
+    return sorted(spans, key=lambda span: span.duration, reverse=True)[:top]
+
+
+def straggler_report(
+    tracer: Tracer,
+    metrics: Optional[MetricsRegistry] = None,
+    top: int = 5,
+) -> str:
+    """Human-readable utilization + straggler summary of the whole trace.
+
+    One section per traced process (engine): worker busy/idle fractions
+    over that process's traced horizon, the ``top`` longest blocks
+    (critical-path candidates), and the ``top`` slowest rotation hops.
+    """
+    lines: List[str] = []
+    processes = tracer.processes()
+    if not processes:
+        lines.append("(empty trace)")
+    for process in processes:
+        bounds = tracer.time_bounds(process)
+        horizon = (bounds[1] - bounds[0]) if bounds else 0.0
+        lines.append(f"== {process}: traced horizon {horizon * 1e3:.3f} ms ==")
+        lines.extend(utilization_lines(tracer, process))
+
+        blocks = tracer.filter(cat="block", process=process)
+        if blocks:
+            lines.append(f"  critical-path blocks (top {min(top, len(blocks))}):")
+            for span in _top_spans(blocks, top):
+                lines.append(
+                    f"    {span.name:20s} {span.track:10s}"
+                    f" {_fmt_seconds(span.duration)}"
+                    f"  [{span.t_start * 1e3:.3f} .. {span.t_end * 1e3:.3f} ms]"
+                )
+        rotations = tracer.filter(cat="rotation", process=process)
+        if rotations:
+            lines.append(
+                f"  slowest rotation hops (top {min(top, len(rotations))}):"
+            )
+            for span in _top_spans(rotations, top):
+                hop = ""
+                if span.args and "hop" in span.args:
+                    hop = f" hop {span.args['hop']}"
+                nbytes = ""
+                if span.args and "nbytes" in span.args:
+                    nbytes = f" {span.args['nbytes'] / 1e3:.1f} KB"
+                lines.append(
+                    f"    {_fmt_seconds(span.duration)}{hop}{nbytes}"
+                    f"  [{span.t_start * 1e3:.3f} .. {span.t_end * 1e3:.3f} ms]"
+                )
+        traffic_totals = {}
+        for cat in _TRAFFIC_CATS:
+            total = sum(
+                span.args.get("nbytes", 0.0)
+                for span in tracer.filter(cat=cat, process=process)
+                if span.args
+            )
+            if total:
+                traffic_totals[cat] = total
+        if traffic_totals:
+            rendered = ", ".join(
+                f"{kind}={total / 1e6:.3f} MB"
+                for kind, total in sorted(traffic_totals.items())
+            )
+            lines.append(f"  traffic: {rendered}")
+        lines.append("")
+    if metrics is not None and metrics.enabled:
+        lines.append("== metrics ==")
+        snapshot = metrics.snapshot()
+        if not snapshot:
+            lines.append("  (no metrics recorded)")
+        for name, value in snapshot.items():
+            if isinstance(value, dict):
+                rendered = " ".join(
+                    f"{key}={val:.6g}" for key, val in value.items()
+                )
+                lines.append(f"  {name}: {rendered}")
+            else:
+                lines.append(f"  {name}: {value:.6g}")
+    return "\n".join(lines).rstrip("\n")

@@ -31,6 +31,8 @@ from repro.analysis.strategy import PlacementKind, Plan, Strategy
 from repro.core import access
 from repro.core.distarray import DistArray
 from repro.errors import ExecutionError
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime import partition as parts
 from repro.runtime import schedule as sched
 from repro.runtime.cluster import ClusterSpec
@@ -162,6 +164,8 @@ class EpochResult:
     #: Fraction of worker-seconds spent doing block work (1.0 = no worker
     #: ever waits on rotation, barriers or the parameter server).
     utilization: float = 0.0
+    #: Whether blocks ran through the batched-kernel fast path.
+    kernel_path: bool = False
 
 
 class OrionExecutor:
@@ -200,6 +204,13 @@ class OrionExecutor:
             no RNG draws in the body and no buffer apply UDF that mutates
             state outside the DistArrays (the rewind between runs only
             restores array and buffer contents).
+        tracer: observability tracer; spans are emitted on the virtual
+            timeline only when it is enabled (default: the shared disabled
+            :data:`~repro.obs.tracer.NULL_TRACER`, zero overhead).
+        metrics: observability metrics registry (default: the shared
+            disabled :data:`~repro.obs.metrics.NULL_METRICS`).
+        trace_process: Perfetto process label for this executor's spans,
+            letting several engines share one trace file side by side.
     """
 
     def __init__(
@@ -216,6 +227,9 @@ class OrionExecutor:
         concurrency: str = "serial",
         kernel: Optional[Callable[..., Any]] = None,
         equivalence_check: bool = False,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace_process: str = "orion",
     ) -> None:
         if prefetch not in ("auto", "none"):
             raise ExecutionError(f"unknown prefetch mode {prefetch!r}")
@@ -233,6 +247,9 @@ class OrionExecutor:
         self.cache_prefetch = cache_prefetch
         self.kernel = kernel
         self.equivalence_check = equivalence_check
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.trace_process = trace_process
         self._equivalence_checked = False
         #: Per-block caches handed to kernels (index arrays, conflict
         #: groups, memoized accounting) — persist across epochs.
@@ -329,6 +346,7 @@ class OrionExecutor:
             self._server_arrays,
             prefetch_fn,
             cache_indices=self.cache_prefetch,
+            metrics=self.metrics,
         )
         self._server_ids = {id(array) for array in self._server_arrays.values()}
         self._kernel_supported = self._kernel_legal()
@@ -373,8 +391,19 @@ class OrionExecutor:
             return 0.0
         return self._rotated_bytes / self.num_time
 
-    def run_epoch(self) -> EpochResult:
-        """Execute one full pass over the iteration space."""
+    @property
+    def kernel_path(self) -> bool:
+        """Whether blocks execute through the batched-kernel fast path."""
+        return self.kernel is not None and self._kernel_supported
+
+    def run_epoch(self, t0: float = 0.0) -> EpochResult:
+        """Execute one full pass over the iteration space.
+
+        Args:
+            t0: absolute virtual time at which this epoch starts — only
+                used to place trace spans on the global timeline (epoch
+                timing itself is epoch-relative and unaffected).
+        """
         if not self._ready:
             raise ExecutionError("executor not set up")
         work_s = np.zeros((self.num_workers, self.num_time))
@@ -382,6 +411,10 @@ class OrionExecutor:
         prefetch_bytes = np.zeros((self.num_workers, self.num_time))
         task_records: List[Tuple[sched.Task, _TaskStats]] = []
         validation: Dict[int, List[Tuple[sched.Task, _TaskStats]]] = {}
+        tracing = self.tracer.enabled
+        #: block_key -> (prefetch, compute, flush, overhead) seconds, the
+        #: phase breakdown behind each block span (only kept when tracing).
+        phases: Dict[Tuple[int, int], Tuple[float, float, float, float]] = {}
 
         for step_tasks in self.steps:
             for task, stats in self._run_step(step_tasks):
@@ -418,28 +451,146 @@ class OrionExecutor:
                 )
                 flush_bytes[task.space_idx, time_idx] = stats.flush_bytes
                 prefetch_bytes[task.space_idx, time_idx] = cost.nbytes
+                if tracing:
+                    phases[(task.space_idx, time_idx)] = (
+                        cost.seconds,
+                        compute,
+                        flush_transfer,
+                        marshalling + message_cpu,
+                    )
                 task_records.append((task, stats))
                 if self.validate:
                     validation.setdefault(task.step, []).append((task, stats))
 
         if self.validate:
             self._check_serializability(validation)
+            self.metrics.counter("serializability_validations_total").inc()
 
         timing = self._timing(work_s)
         events = self._traffic_events(
-            timing, work_s, flush_bytes, prefetch_bytes
+            timing, work_s, flush_bytes, prefetch_bytes, t0=t0
         )
         total_bytes = sum(event[2] for event in events)
         busy = float(work_s.sum())
         capacity = self.num_workers * timing.makespan
         self.epochs_run += 1
-        return EpochResult(
+        result = EpochResult(
             epoch_time_s=timing.makespan,
             bytes_sent=total_bytes,
             events=events,
             num_tasks=len(task_records),
             utilization=busy / capacity if capacity > 0 else 0.0,
+            kernel_path=self.kernel_path,
         )
+        if tracing:
+            self._emit_spans(t0, timing, work_s, phases, result)
+        self._record_metrics(result, work_s)
+        return result
+
+    def _record_metrics(self, result: EpochResult, work_s: np.ndarray) -> None:
+        metrics = self.metrics
+        if not metrics.enabled:
+            return
+        metrics.counter("epochs_total").inc()
+        metrics.counter("blocks_total").inc(result.num_tasks)
+        entries = self.partitions.total_entries
+        metrics.counter("entries_total").inc(entries)
+        path = "kernel_blocks_total" if result.kernel_path \
+            else "scalar_blocks_total"
+        metrics.counter(path).inc(result.num_tasks)
+        metrics.gauge("utilization").set(result.utilization)
+        if result.epoch_time_s > 0:
+            metrics.gauge("entries_per_virtual_s").set(
+                entries / result.epoch_time_s
+            )
+        block_seconds = metrics.histogram("block_seconds")
+        for value in work_s.flat:
+            if value > 0.0:
+                block_seconds.observe(float(value))
+
+    def _emit_spans(
+        self,
+        t0: float,
+        timing: sched.ScheduleTiming,
+        work_s: np.ndarray,
+        phases: Dict[Tuple[int, int], Tuple[float, float, float, float]],
+        result: EpochResult,
+    ) -> None:
+        """Place this epoch's execution on the virtual timeline.
+
+        Taxonomy (see ``docs/observability.md``): one ``epoch`` span on the
+        ``epochs`` track with ``barrier`` children; per worker track, one
+        ``block`` span per executed block whose duration is exactly that
+        block's charged work, with nested phase spans (``prefetch`` /
+        ``compute`` / ``flush`` / ``overhead``) partitioning it.  Traffic
+        spans are emitted by :meth:`_traffic_events`.
+        """
+        tracer, process = self.tracer, self.trace_process
+        tracer.add_span(
+            f"epoch {self.epochs_run}",
+            "epoch",
+            t0,
+            t0 + timing.makespan,
+            track="epochs",
+            process=process,
+            args={
+                "utilization": result.utilization,
+                "bytes_sent": result.bytes_sent,
+                "num_tasks": result.num_tasks,
+                "kernel_path": result.kernel_path,
+                "strategy": self.plan.strategy.name,
+            },
+        )
+        for t_start, t_end in timing.barriers:
+            tracer.add_span(
+                "barrier",
+                "barrier",
+                t0 + t_start,
+                t0 + t_end,
+                track="epochs",
+                process=process,
+                depth=1,
+            )
+        phase_names = ("prefetch", "compute", "flush", "overhead")
+        for step_tasks in self.steps:
+            for task in step_tasks:
+                finish = timing.finish.get((task.worker, task.step))
+                if finish is None:
+                    continue
+                time_idx = task.time_idx or 0
+                duration = float(work_s[task.space_idx, time_idx])
+                start = finish - duration
+                track = f"worker{task.worker}"
+                breakdown = phases.get((task.space_idx, time_idx))
+                args = {"step": task.step, "space": task.space_idx,
+                        "time": time_idx}
+                if breakdown is not None:
+                    args.update(zip(phase_names, breakdown))
+                tracer.add_span(
+                    f"block[{task.space_idx},{time_idx}]",
+                    "block",
+                    t0 + start,
+                    t0 + finish,
+                    track=track,
+                    process=process,
+                    args=args,
+                )
+                if breakdown is None:
+                    continue
+                cursor = start
+                for phase_name, phase_s in zip(phase_names, breakdown):
+                    if phase_s <= 0.0:
+                        continue
+                    tracer.add_span(
+                        phase_name,
+                        phase_name,
+                        t0 + cursor,
+                        t0 + cursor + phase_s,
+                        track=track,
+                        process=process,
+                        depth=1,
+                    )
+                    cursor += phase_s
 
     def _run_step(
         self, step_tasks: List[sched.Task]
@@ -690,15 +841,44 @@ class OrionExecutor:
         work_s: np.ndarray,
         flush_bytes: np.ndarray,
         prefetch_bytes: np.ndarray,
+        t0: float = 0.0,
     ) -> List[Tuple[float, float, float, str]]:
+        """Epoch-relative traffic events; when tracing, the same transfers
+        are also emitted as spans on per-kind network tracks (offset by
+        ``t0`` onto the global timeline, with worker/hop attribution)."""
+        tracer, process = self.tracer, self.trace_process
+        tracing = tracer.enabled
+        metrics = self.metrics
+
         events: List[Tuple[float, float, float, str]] = []
+
+        def emit(t_start, t_end, nbytes, kind, worker=None, hop=None):
+            events.append((t_start, t_end, nbytes, kind))
+            metrics.counter(f"traffic_bytes_{kind}").inc(nbytes)
+            if tracing:
+                args: Dict[str, Any] = {"nbytes": nbytes}
+                if worker is not None:
+                    args["worker"] = worker
+                if hop is not None:
+                    args["hop"] = hop
+                tracer.add_span(
+                    kind,
+                    kind,
+                    t0 + t_start,
+                    t0 + t_end,
+                    track=f"net:{kind}",
+                    process=process,
+                    args=args,
+                )
+
         if self._replicated_bytes:
             nbytes = self._replicated_bytes * self.cluster.num_machines
             duration = self.cluster.network.transfer_time(
                 self._replicated_bytes
             )
-            events.append((0.0, duration, nbytes, "broadcast"))
+            emit(0.0, duration, nbytes, "broadcast")
         rotated = self.rotated_block_bytes
+        num_workers = self.num_workers
         for step_tasks in self.steps:
             for task in step_tasks:
                 finish = timing.finish.get((task.worker, task.step))
@@ -708,15 +888,24 @@ class OrionExecutor:
                 start = finish - float(work_s[task.space_idx, time_idx])
                 if rotated and self.plan.strategy is Strategy.TWO_D:
                     duration = self.cluster.network.transfer_time(rotated)
-                    events.append((finish, finish + duration, rotated, "rotation"))
+                    # The finished rotated partition moves to the worker's
+                    # predecessor in rotation order.
+                    hop = (
+                        f"{task.worker}->"
+                        f"{(task.worker - 1) % num_workers}"
+                    )
+                    emit(finish, finish + duration, rotated, "rotation",
+                         worker=task.worker, hop=hop)
                 fb = float(flush_bytes[task.space_idx, time_idx])
                 if fb:
                     duration = self.cluster.network.transfer_time(fb)
-                    events.append((finish, finish + duration, fb, "flush"))
+                    emit(finish, finish + duration, fb, "flush",
+                         worker=task.worker)
                 pb = float(prefetch_bytes[task.space_idx, time_idx])
                 if pb:
                     duration = self.cluster.network.transfer_time(pb)
-                    events.append((start, start + duration, pb, "prefetch"))
+                    emit(start, start + duration, pb, "prefetch",
+                         worker=task.worker)
         return events
 
     # ---------------- serializability validation ----------------------- #

@@ -7,7 +7,8 @@ all baseline engines — per-epoch loss, cumulative virtual time, and traffic
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.runtime.network import TrafficLog
@@ -25,6 +26,8 @@ class EpochRecord:
         time_s: cumulative virtual seconds at the end of the pass.
         epoch_time_s: virtual seconds this pass took.
         bytes_sent: network bytes this pass generated.
+        utilization: fraction of worker-seconds spent on block work this
+            pass (0.0 when the engine does not report it).
     """
 
     epoch: int
@@ -32,6 +35,7 @@ class EpochRecord:
     time_s: float
     epoch_time_s: float
     bytes_sent: float = 0.0
+    utilization: float = 0.0
 
 
 @dataclass
@@ -48,6 +52,7 @@ class RunHistory:
         loss: float,
         epoch_time_s: float,
         bytes_sent: float = 0.0,
+        utilization: float = 0.0,
     ) -> EpochRecord:
         """Append the next epoch's measurements."""
         epoch = len(self.records) + 1
@@ -58,6 +63,7 @@ class RunHistory:
             time_s=previous + float(epoch_time_s),
             epoch_time_s=float(epoch_time_s),
             bytes_sent=float(bytes_sent),
+            utilization=float(utilization),
         )
         self.records.append(record)
         return record
@@ -101,3 +107,39 @@ class RunHistory:
             if record.loss <= loss_target:
                 return record.time_s
         return None
+
+    # ---------------- JSON round-trip ---------------------------------- #
+
+    def to_json(self) -> Dict[str, Any]:
+        """The history as one JSON-safe dict (records + traffic + meta).
+
+        Meta entries that are not JSON-serializable as-is (numpy state
+        dicts, hyperparameter dataclasses, live tracer objects, ...) are
+        dropped, so benchmark results stay machine-readable without
+        pickling.  Round-trips through :meth:`from_json`.
+        """
+        meta: Dict[str, Any] = {}
+        for key, value in self.meta.items():
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                continue
+            meta[key] = value
+        return {
+            "label": self.label,
+            "records": [asdict(record) for record in self.records],
+            "traffic": self.traffic.to_json(),
+            "meta": meta,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "RunHistory":
+        """Rebuild a history from :meth:`to_json` output."""
+        history = cls(
+            label=str(data["label"]),
+            traffic=TrafficLog.from_json(data.get("traffic", [])),
+            meta=dict(data.get("meta", {})),
+        )
+        for item in data.get("records", []):
+            history.records.append(EpochRecord(**item))
+        return history

@@ -91,8 +91,12 @@ class TrafficLog:
         """Aggregate transfers into a (times, Mbps) series.
 
         Each event's bytes are spread uniformly over its time span and
-        binned into ``bucket_s``-second buckets; the returned rate is in
-        megabits per second, matching the paper's Fig. 12 axis.
+        binned into ``bucket_s``-second buckets — an event that crosses a
+        bin boundary contributes to each bin proportionally to the overlap.
+        Instantaneous events (``t_end == t_start``) deposit all their bytes
+        into their containing bin rather than losing them to a zero-length
+        overlap.  The returned rate is in megabits per second, matching the
+        paper's Fig. 12 axis.
         """
         if not self.events:
             return np.zeros(0), np.zeros(0)
@@ -102,8 +106,13 @@ class TrafficLog:
         num_buckets = max(1, int(np.ceil(end / bucket_s)))
         series = np.zeros(num_buckets)
         for event in self.events:
-            span = max(event.t_end - event.t_start, 1e-12)
             first = int(event.t_start / bucket_s)
+            if first >= num_buckets:
+                continue  # starts beyond the horizon
+            span = event.t_end - event.t_start
+            if span <= 0.0:
+                series[first] += event.nbytes
+                continue
             last = min(int(event.t_end / bucket_s), num_buckets - 1)
             for bucket in range(first, last + 1):
                 lo = max(event.t_start, bucket * bucket_s)
@@ -113,3 +122,32 @@ class TrafficLog:
         times = (np.arange(num_buckets) + 0.5) * bucket_s
         mbps = series * 8.0 / 1e6 / bucket_s
         return times, mbps
+
+    # ---- JSON round-trip (machine-readable run histories) ------------- #
+
+    def to_json(self) -> List[dict]:
+        """Events as a JSON-safe list of dicts."""
+        return [
+            {
+                "t_start": event.t_start,
+                "t_end": event.t_end,
+                "nbytes": event.nbytes,
+                "kind": event.kind,
+            }
+            for event in self.events
+        ]
+
+    @classmethod
+    def from_json(cls, data: List[dict]) -> "TrafficLog":
+        """Rebuild a log from :meth:`to_json` output."""
+        log = cls()
+        for item in data:
+            log.events.append(
+                TrafficEvent(
+                    float(item["t_start"]),
+                    float(item["t_end"]),
+                    float(item["nbytes"]),
+                    str(item["kind"]),
+                )
+            )
+        return log

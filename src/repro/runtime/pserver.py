@@ -17,6 +17,7 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.analysis.prefetch import PrefetchFunction
 from repro.core.distarray import DistArray
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.runtime.cluster import ClusterSpec
 
 __all__ = ["index_nbytes", "BlockAccessCost", "PrefetchManager"]
@@ -77,6 +78,9 @@ class PrefetchManager:
         prefetch_cpu_fraction: CPU cost of running the synthesized function,
             as a fraction of the block's compute cost (it executes a slice
             of the loop body).
+        metrics: observability registry; counts prefetch index-cache hits
+            and misses (``prefetch_cache_hits_total`` /
+            ``prefetch_cache_misses_total``).
     """
 
     def __init__(
@@ -86,12 +90,14 @@ class PrefetchManager:
         prefetch_fn: Optional[PrefetchFunction],
         cache_indices: bool = False,
         prefetch_cpu_fraction: float = 0.3,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.cluster = cluster
         self.arrays = arrays
         self.prefetch_fn = prefetch_fn
         self.cache_indices = cache_indices
         self.prefetch_cpu_fraction = prefetch_cpu_fraction
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._cache: Dict[Any, Tuple[int, float]] = {}
 
     def block_read_cost(
@@ -110,9 +116,11 @@ class PrefetchManager:
             return BlockAccessCost(0.0, 0.0, 0)
         cached = self._cache.get(block_key) if self.cache_indices else None
         if cached is not None:
+            self.metrics.counter("prefetch_cache_hits_total").inc()
             unique_count, nbytes = cached
             cpu = 0.0
         else:
+            self.metrics.counter("prefetch_cache_misses_total").inc()
             unique: Dict[Tuple[str, Tuple[Any, ...]], int] = {}
             for key, value in entries:
                 for array_name, index in self.prefetch_fn(key, value):

@@ -60,6 +60,9 @@ class ScheduleTiming:
     makespan: float
     #: Finish time of each task, keyed by ``(worker, step)``.
     finish: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    #: Global synchronization intervals ``(t_start, t_end)`` — the barrier
+    #: waits the schedule charges, for tracing (``barrier`` spans).
+    barriers: List[Tuple[float, float]] = field(default_factory=list)
 
 
 def one_d_schedule(num_workers: int) -> List[List[Task]]:
@@ -140,8 +143,11 @@ def time_one_d(work_s: np.ndarray, cluster: ClusterSpec) -> ScheduleTiming:
     finish: Dict[Tuple[int, int], float] = {}
     for worker in range(work_s.shape[0]):
         finish[(worker, 0)] = float(work_s[worker].sum())
-    makespan = max(finish.values()) + cluster.cost.sync_overhead_s
-    return ScheduleTiming(makespan=makespan, finish=finish)
+    slowest = max(finish.values())
+    makespan = slowest + cluster.cost.sync_overhead_s
+    return ScheduleTiming(
+        makespan=makespan, finish=finish, barriers=[(slowest, makespan)]
+    )
 
 
 def time_ordered_2d(
@@ -157,6 +163,7 @@ def time_ordered_2d(
     num_workers, num_time = work_s.shape
     clock = 0.0
     finish: Dict[Tuple[int, int], float] = {}
+    barriers: List[Tuple[float, float]] = []
     for tasks in ordered_2d_schedule(num_workers, num_time):
         if not tasks:
             continue
@@ -166,8 +173,10 @@ def time_ordered_2d(
             finish[(task.worker, task.step)] = clock + duration
             step_work = max(step_work, duration)
         transfer = cluster.network.transfer_time(rotated_block_bytes)
+        barrier_start = clock + step_work + transfer
         clock += step_work + transfer + cluster.cost.sync_overhead_s
-    return ScheduleTiming(makespan=clock, finish=finish)
+        barriers.append((min(barrier_start, clock), clock))
+    return ScheduleTiming(makespan=clock, finish=finish, barriers=barriers)
 
 
 def time_unordered_2d(
@@ -205,9 +214,11 @@ def time_unordered_2d(
                 ready = max(ready, arrival)
             finish_matrix[worker, step] = ready + float(work_s[worker, time_idx])
             finish[(worker, step)] = float(finish_matrix[worker, step])
-    makespan = float(finish_matrix[:, num_time - 1].max()) \
-        + cluster.cost.sync_overhead_s
-    return ScheduleTiming(makespan=makespan, finish=finish)
+    slowest = float(finish_matrix[:, num_time - 1].max())
+    makespan = slowest + cluster.cost.sync_overhead_s
+    return ScheduleTiming(
+        makespan=makespan, finish=finish, barriers=[(slowest, makespan)]
+    )
 
 
 def time_sequential_outer(
@@ -218,11 +229,14 @@ def time_sequential_outer(
     num_workers, num_time = work_s.shape
     clock = 0.0
     finish: Dict[Tuple[int, int], float] = {}
+    barriers: List[Tuple[float, float]] = []
     for time_idx in range(num_time):
         step_work = 0.0
         for worker in range(num_workers):
             duration = float(work_s[worker, time_idx])
             finish[(worker, time_idx)] = clock + duration
             step_work = max(step_work, duration)
+        barrier_start = clock + step_work
         clock += step_work + cluster.cost.sync_overhead_s
-    return ScheduleTiming(makespan=clock, finish=finish)
+        barriers.append((min(barrier_start, clock), clock))
+    return ScheduleTiming(makespan=clock, finish=finish, barriers=barriers)

@@ -117,3 +117,64 @@ class TestLda1d:
         )
         assert code == 0
         assert "Orion LDA" in output
+
+
+class TestObservabilityFlags:
+    def test_trace_and_report(self, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        code, output = _run(
+            ["mf", "--engine", "orion", "--epochs", "2", "--scale", "0.2",
+             "--machines", "1", "--workers-per-machine", "2",
+             "--trace", str(trace_path), "--report"]
+        )
+        assert code == 0
+        assert "execution path:" in output
+        assert "util%" in output
+        assert "== orion:" in output  # the straggler report section
+        assert "== metrics ==" in output
+        trace = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(trace) == []
+        assert f"trace written to {trace_path}" in output
+
+    def test_all_engines_share_one_trace(self, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code, output = _run(
+            ["mf", "--engine", "all", "--epochs", "1", "--scale", "0.2",
+             "--machines", "1", "--workers-per-machine", "2",
+             "--trace", str(trace_path)]
+        )
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        processes = {
+            event["args"]["name"]
+            for event in trace["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "process_name"
+        }
+        # Natively traced engines plus traffic tracks lifted from the rest.
+        assert {"serial", "orion", "orion-ordered", "bosen"} <= processes
+        assert "tf" in processes or "tux2" in processes
+
+    def test_history_out(self, tmp_path):
+        import json
+
+        from repro.runtime.history import RunHistory
+
+        history_path = tmp_path / "history.json"
+        code, output = _run(
+            ["mf", "--engine", "orion", "--epochs", "2", "--scale", "0.2",
+             "--machines", "1", "--workers-per-machine", "2",
+             "--history-out", str(history_path)]
+        )
+        assert code == 0
+        assert f"histories written to {history_path}" in output
+        payload = json.loads(history_path.read_text())
+        assert payload["app"] == "mf"
+        history = RunHistory.from_json(payload["histories"]["orion"])
+        assert len(history.records) == 2
+        assert history.records[0].utilization > 0.0

@@ -83,3 +83,54 @@ class TestTrafficLog:
         log.record(0.0, 1.0, 8, "x")
         times, _ = log.bandwidth_series(1.0, horizon_s=5.0)
         assert len(times) == 5
+
+    def test_boundary_crossing_split_is_proportional(self):
+        # 800 bytes over [0.5, 1.5] with 1 s buckets: exactly half per bin.
+        log = TrafficLog()
+        log.record(0.5, 1.5, 800, "x")
+        _times, mbps = log.bandwidth_series(1.0)
+        assert mbps[0] == pytest.approx(400 * 8 / 1e6)
+        assert mbps[1] == pytest.approx(400 * 8 / 1e6)
+
+    def test_zero_duration_event_keeps_bytes(self):
+        # Regression: an instantaneous transfer used to contribute nothing
+        # (zero-length overlap with every bin); its bytes must land in the
+        # containing bin.
+        log = TrafficLog()
+        log.record(1.2, 1.2, 1_000_000, "x")
+        _times, mbps = log.bandwidth_series(1.0, horizon_s=3.0)
+        assert mbps[1] == pytest.approx(8.0)
+        assert mbps[0] == 0.0 and mbps[2] == 0.0
+
+    def test_zero_duration_on_bin_boundary(self):
+        log = TrafficLog()
+        log.record(1.0, 1.0, 500, "x")
+        _times, mbps = log.bandwidth_series(1.0, horizon_s=2.0)
+        total_bits = float(np.sum(mbps * 1e6 * 1.0))
+        assert total_bits == pytest.approx(500 * 8)
+        assert mbps[1] > 0.0  # t=1.0 belongs to bin [1, 2)
+
+    def test_zero_duration_beyond_horizon_dropped(self):
+        log = TrafficLog()
+        log.record(5.0, 5.0, 500, "x")
+        log.record(0.0, 1.0, 100, "y")
+        _times, mbps = log.bandwidth_series(1.0, horizon_s=2.0)
+        total_bits = float(np.sum(mbps * 1e6 * 1.0))
+        assert total_bits == pytest.approx(100 * 8)
+
+    def test_mixed_events_conserve_bytes(self):
+        log = TrafficLog()
+        log.record(0.0, 2.5, 1_000, "a")
+        log.record(0.7, 0.7, 300, "b")
+        log.record(1.9, 3.1, 400, "c")
+        _times, mbps = log.bandwidth_series(0.5)
+        total_bits = float(np.sum(mbps * 1e6 * 0.5))
+        assert total_bits == pytest.approx(1_700 * 8, rel=1e-9)
+
+    def test_json_round_trip(self):
+        log = TrafficLog()
+        log.record(0.0, 1.0, 100, "rotation")
+        log.record(1.0, 1.0, 50, "flush")
+        rebuilt = TrafficLog.from_json(log.to_json())
+        assert rebuilt.events == log.events
+        assert rebuilt.total_bytes == 150.0

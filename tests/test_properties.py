@@ -321,21 +321,17 @@ class TestScheduleTimingProperties:
         assert bigger >= base
 
     @settings(max_examples=40, deadline=None)
-    @given(
-        work=st.lists(
-            st.lists(st.floats(1e-6, 1e-2), min_size=3, max_size=3),
-            min_size=3,
-            max_size=3,
-        ),
-    )
+    @given(work=st.floats(1e-6, 1e-2))
     def test_ordered_at_least_unordered(self, work):
         """With equal per-block work, the barriered wavefront can never be
-        faster than the pipelined rotation."""
+        faster than the pipelined rotation.  (Heterogeneous per-block work
+        breaks the property: a slow block convoys the rotation pipeline
+        while the wavefront only pays each step's max once.)"""
         from repro.runtime.cluster import ClusterSpec
         from repro.runtime.schedule import time_ordered_2d, time_unordered_2d
 
         cluster = ClusterSpec(num_machines=1, workers_per_machine=3)
-        matrix = np.array(work)
+        matrix = np.full((3, 3), work)
         ordered = time_ordered_2d(matrix, cluster, 100.0).makespan
         unordered = time_unordered_2d(matrix, cluster, 100.0).makespan
         assert ordered >= unordered * 0.999
