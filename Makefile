@@ -1,11 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check compile test trace-smoke bench-smoke clean
+.PHONY: check compile test trace-smoke fault-smoke bench-smoke clean
 
-## Default verification: imports compile, tier-1 tests pass, and the
-## tracing pipeline produces a loadable Perfetto trace end to end.
-check: compile test trace-smoke
+## Default verification: imports compile, tier-1 tests pass, the tracing
+## pipeline produces a loadable Perfetto trace end to end, and the
+## fault-injection/recovery story holds its invariants.
+check: compile test trace-smoke fault-smoke
 
 compile:
 	$(PYTHON) -m compileall -q src
@@ -21,6 +22,13 @@ trace-smoke:
 	trace = json.load(open('trace.json')); problems = validate_chrome_trace(trace); \
 	assert not problems, problems; \
 	print('trace.json ok:', len(trace['traceEvents']), 'events')"
+
+## Crash/drop/straggler injection end to end: the example asserts the
+## faulted run recovers to bit-equal parameters and only costs virtual
+## time, and that the no-plan path stays bit-identical.
+fault-smoke:
+	$(PYTHON) examples/fault_tolerance.py > /dev/null
+	@echo "fault-smoke ok"
 
 ## Wall-clock kernel-vs-scalar throughput; writes BENCH_wallclock.json.
 bench-smoke:

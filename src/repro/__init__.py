@@ -14,6 +14,8 @@ Public entry points:
   STRADS-style / TensorFlow-style comparison engines.
 * :mod:`repro.data` — synthetic dataset generators standing in for
   Netflix / NYTimes / ClueWeb / KDD2010.
+* :mod:`repro.faults` — deterministic fault injection (crashes, message
+  drops, stragglers) and crash recovery (see ``docs/fault_tolerance.md``).
 """
 
 from repro.api import OrionContext, ParallelLoop
@@ -24,15 +26,20 @@ from repro.errors import (
     AnalysisError,
     DependenceError,
     ExecutionError,
+    FaultError,
     MaterializationError,
     ParallelizationError,
     PartitionError,
     ReproError,
     SubscriptError,
 )
+from repro.faults import FaultPlan, MessageDrops, Straggler, WorkerCrash
+from repro.obs.observability import Observability
+from repro.runtime.checkpoint import CheckpointConfig
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.history import RunHistory
-from repro.runtime.network import NetworkModel
+from repro.runtime.network import NetworkModel, RetryPolicy
+from repro.runtime.options import LoopOptions
 from repro.runtime.simtime import CostModel
 
 __version__ = "1.0.0"
@@ -46,8 +53,17 @@ __all__ = [
     "ClusterSpec",
     "RunHistory",
     "NetworkModel",
+    "RetryPolicy",
     "CostModel",
+    "LoopOptions",
+    "Observability",
+    "CheckpointConfig",
+    "FaultPlan",
+    "WorkerCrash",
+    "Straggler",
+    "MessageDrops",
     "AnalysisError",
+    "FaultError",
     "DependenceError",
     "ExecutionError",
     "MaterializationError",

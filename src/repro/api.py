@@ -34,6 +34,7 @@ construction exactly once; each ``run()`` executes one pass.
 from __future__ import annotations
 
 import operator
+from dataclasses import replace
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.analysis.loop_info import LoopInfo, analyze_loop_body
@@ -41,11 +42,14 @@ from repro.analysis.strategy import Plan, choose_plan
 from repro.core.accumulator import Accumulator, AccumulatorRegistry
 from repro.core.buffers import DistArrayBuffer, default_apply
 from repro.core.distarray import DistArray, parse_dense_line
-from repro.obs.metrics import NULL_METRICS, MetricsRegistry
-from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.faults.recovery import RecoveryManager
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observability import Observability
+from repro.obs.tracer import Tracer
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.executor import EpochResult, OrionExecutor
 from repro.runtime.network import TrafficLog
+from repro.runtime.options import UNSET, LoopOptions
 
 __all__ = ["OrionContext", "ParallelLoop"]
 
@@ -65,22 +69,96 @@ class ParallelLoop:
         info: LoopInfo,
         plan: Plan,
         executor: OrionExecutor,
+        options: Optional[LoopOptions] = None,
     ) -> None:
         self.ctx = ctx
         self.body = body
         self.info = info
         self.plan = plan
         self.executor = executor
+        self.options = options if options is not None else executor.options
+        #: Logical (1-based) epoch counter across run() calls — fault
+        #: events are pinned against this, not the executor's pass count.
+        self._epoch = 0
+        self._recovery: Optional[RecoveryManager] = None
+        opts = self.options
+        if opts.faults is not None or opts.checkpoint is not None:
+            self._recovery = RecoveryManager(
+                self._protected_arrays(opts),
+                accumulators=info.accumulator_refs,
+                checkpoint=opts.checkpoint,
+                costs=opts.faults.costs if opts.faults is not None else None,
+                tracer=executor.tracer,
+                metrics=executor.metrics,
+                trace_process=executor.trace_process,
+            )
+
+    def _protected_arrays(self, opts: LoopOptions) -> List[DistArray]:
+        """The arrays recovery must restore: the checkpoint config's
+        explicit list, or every array/buffer target the loop mutates."""
+        if opts.checkpoint is not None and opts.checkpoint.arrays:
+            return list(opts.checkpoint.arrays)
+        seen: Dict[str, DistArray] = {}
+        written = self.info.written_arrays()
+        for name, array in self.info.arrays.items():
+            if name in written:
+                seen[array.name] = array
+        for buffer in self.info.buffers.values():
+            target = buffer.target
+            seen[target.name] = target
+        return list(seen.values())
 
     def run(self, epochs: int = 1) -> List[EpochResult]:
         """Execute ``epochs`` full passes, advancing the context clock and
-        recording traffic on the context's log."""
-        results = []
+        recording traffic on the context's log.
+
+        Without a fault plan or checkpoint config this is exactly the
+        historical loop (bit-identical results).  With one, each logical
+        epoch runs under crash protection: a detected crash restores the
+        latest complete checkpoint (or the initial state), charges the
+        virtual clock for detection + restore, and replays the lost
+        epochs.  Aborted passes stay in the returned list (check
+        :attr:`EpochResult.fault`), so the result count can exceed
+        ``epochs`` when crashes fired.
+        """
+        results: List[EpochResult] = []
+        if self._recovery is None:
+            for _ in range(epochs):
+                self._epoch += 1
+                result = self.executor.run_epoch(
+                    t0=self.ctx.now, epoch=self._epoch
+                )
+                self.ctx._absorb(result)
+                results.append(result)
+            return results
         for _ in range(epochs):
-            result = self.executor.run_epoch(t0=self.ctx.now)
-            self.ctx._absorb(result)
-            results.append(result)
+            self._epoch += 1
+            self._run_protected(self._epoch, results)
         return results
+
+    def _run_protected(self, epoch: int, results: List[EpochResult]) -> None:
+        """Run one logical epoch; on a detected crash, restore and replay.
+
+        Recursion handles crashes during replay: each crash in the plan is
+        one-shot, so the depth is bounded by the number of planned crashes.
+        """
+        recovery = self._recovery
+        assert recovery is not None
+        result = self.executor.run_epoch(t0=self.ctx.now, epoch=epoch)
+        self.ctx._absorb(result)
+        results.append(result)
+        if result.fault is None:
+            self.ctx.now += recovery.after_epoch(epoch, self.ctx.now)
+            return
+        seconds, replay_from, restored_nbytes = recovery.recover(self.ctx.now)
+        if restored_nbytes:
+            self.ctx.traffic.record(
+                self.ctx.now, self.ctx.now + seconds, restored_nbytes,
+                "restore",
+            )
+        self.ctx.now += seconds
+        for replay_epoch in range(replay_from + 1, epoch + 1):
+            self._run_protected(replay_epoch, results)
 
     def explain(self) -> str:
         """A Fig. 6-style report of what static parallelization decided."""
@@ -101,10 +179,15 @@ class OrionContext:
             ``ClusterSpec.paper_default()``).
         seed: base seed for random array initialization.
         tracer: observability tracer shared by every loop this context
-            builds (default: the disabled
+            builds (legacy form; default: the disabled
             :data:`~repro.obs.tracer.NULL_TRACER`, zero overhead).
         metrics: observability metrics registry shared by every loop
-            (default: the disabled :data:`~repro.obs.metrics.NULL_METRICS`).
+            (legacy form; default: the disabled
+            :data:`~repro.obs.metrics.NULL_METRICS`).
+        obs: bundled :class:`~repro.obs.observability.Observability`
+            (``Observability.enabled()`` for a live pair).  Explicit
+            ``tracer=`` / ``metrics=`` arguments override the bundle
+            component-wise, so both forms mix freely.
     """
 
     def __init__(
@@ -113,11 +196,13 @@ class OrionContext:
         seed: Optional[int] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.cluster = cluster or ClusterSpec(num_machines=1, workers_per_machine=4)
         self.seed = seed
-        self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.obs = Observability.resolve(obs=obs, tracer=tracer, metrics=metrics)
+        self.tracer = self.obs.tracer
+        self.metrics = self.obs.metrics
         self.accumulators = AccumulatorRegistry()
         self.traffic = TrafficLog()
         #: Cumulative virtual seconds spent in parallel loops.
@@ -226,19 +311,21 @@ class OrionContext:
     def parallel_for(
         self,
         iteration_space: DistArray,
-        ordered: bool = False,
-        force_dims: Optional[Tuple[int, ...]] = None,
-        pipeline_depth: int = 2,
-        balance: bool = True,
-        validate: bool = False,
-        prefetch: str = "auto",
-        cache_prefetch: bool = True,
-        concurrency: str = "serial",
-        kernel: Optional[Callable[..., Any]] = None,
-        equivalence_check: bool = False,
-        tracer: Optional[Tracer] = None,
-        metrics: Optional[MetricsRegistry] = None,
-        trace_process: str = "orion",
+        ordered: Any = UNSET,
+        force_dims: Any = UNSET,
+        pipeline_depth: Any = UNSET,
+        balance: Any = UNSET,
+        validate: Any = UNSET,
+        prefetch: Any = UNSET,
+        cache_prefetch: Any = UNSET,
+        concurrency: Any = UNSET,
+        kernel: Any = UNSET,
+        equivalence_check: Any = UNSET,
+        tracer: Any = UNSET,
+        metrics: Any = UNSET,
+        trace_process: Any = UNSET,
+        options: Optional[LoopOptions] = None,
+        obs: Any = UNSET,
     ) -> Callable[[Callable[..., Any]], ParallelLoop]:
         """Parallelize a loop body over ``iteration_space``.
 
@@ -246,6 +333,13 @@ class OrionContext:
         analysis, chooses the parallelization strategy, partitions the
         iteration space and builds the schedule — once.  The decorated name
         becomes a :class:`ParallelLoop`.
+
+        Configuration lives in :class:`~repro.runtime.options.LoopOptions`
+        (pass ``options=``); every historical keyword argument still works
+        and overrides the corresponding field, so the two forms mix —
+        see the ``LoopOptions`` docstring for the migration guide.  The
+        fault-injection knobs (``faults``, ``checkpoint``) exist *only* on
+        ``LoopOptions``.
 
         Args:
             iteration_space: materialized DistArray to iterate over.
@@ -273,29 +367,42 @@ class OrionContext:
             tracer: per-loop tracer override (defaults to the context's).
             metrics: per-loop metrics override (defaults to the context's).
             trace_process: Perfetto process label for this loop's spans.
+            options: a :class:`~repro.runtime.options.LoopOptions` bundle;
+                explicitly passed keyword arguments override its fields.
+            obs: per-loop :class:`~repro.obs.observability.Observability`
+                bundle (overridden component-wise by explicit ``tracer=`` /
+                ``metrics=``; defaults to the context's).
         """
+        opts = (options if options is not None else LoopOptions()).merged_with(
+            ordered=ordered,
+            force_dims=force_dims,
+            pipeline_depth=pipeline_depth,
+            balance=balance,
+            validate=validate,
+            prefetch=prefetch,
+            cache_prefetch=cache_prefetch,
+            concurrency=concurrency,
+            kernel=kernel,
+            equivalence_check=equivalence_check,
+            tracer=tracer,
+            metrics=metrics,
+            obs=obs,
+            trace_process=trace_process,
+        )
+        resolved = opts.resolve_obs(default=self.obs)
+        final = replace(opts, obs=resolved, tracer=None, metrics=None)
 
         def decorate(body: Callable[..., Any]) -> ParallelLoop:
-            info = analyze_loop_body(body, iteration_space, ordered=ordered)
-            plan = choose_plan(info, force_dims=force_dims)
-            executor = OrionExecutor(
-                body,
-                info,
-                plan,
-                self.cluster,
-                pipeline_depth=pipeline_depth,
-                balance=balance,
-                validate=validate,
-                prefetch=prefetch,
-                cache_prefetch=cache_prefetch,
-                concurrency=concurrency,
-                kernel=kernel,
-                equivalence_check=equivalence_check,
-                tracer=tracer if tracer is not None else self.tracer,
-                metrics=metrics if metrics is not None else self.metrics,
-                trace_process=trace_process,
+            info = analyze_loop_body(
+                body, iteration_space, ordered=final.ordered
             )
-            return ParallelLoop(self, body, info, plan, executor)
+            plan = choose_plan(info, force_dims=final.force_dims)
+            executor = OrionExecutor(
+                body, info, plan, self.cluster, options=final
+            )
+            return ParallelLoop(
+                self, body, info, plan, executor, options=final
+            )
 
         return decorate
 

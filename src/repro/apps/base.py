@@ -82,9 +82,24 @@ class OrionProgram:
                 history.meta["tracer"] = executor.tracer
             if executor.metrics.enabled:
                 history.meta["metrics"] = executor.metrics
+        # Crash-protected loops charge recovery/checkpoint time directly on
+        # the context clock (outside any EpochResult), so the pass time is
+        # the clock delta; unprotected loops keep the historical sum (the
+        # two only differ by float association, and bit-identity matters).
+        protected = (
+            self.train_loop is not None
+            and self.train_loop._recovery is not None
+        )
+        recoveries = 0
         for _ in range(epochs):
+            t_before = self.ctx.now
             results = self.epoch_fn()
             epoch_time = sum(result.epoch_time_s for result in results)
+            if protected:
+                epoch_time = self.ctx.now - t_before
+            recoveries += sum(
+                1 for result in results if result.fault is not None
+            )
             nbytes = sum(result.bytes_sent for result in results)
             # Utilization of the pass: busy worker-seconds over capacity,
             # i.e. the makespan-weighted mean of per-loop utilizations.
@@ -95,6 +110,8 @@ class OrionProgram:
             history.append(
                 self.loss_fn(), epoch_time, nbytes, utilization=utilization
             )
+        if recoveries:
+            history.meta["recoveries"] = recoveries
         return history
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.apps.base import SerialApp
+from repro.obs.observability import Observability
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.history import RunHistory
 from repro.runtime.simtime import CostModel
@@ -26,6 +27,7 @@ def run_serial(
     shuffle_each_epoch: bool = False,
     tracer: Optional[Tracer] = None,
     trace_process: str = "serial",
+    obs: Optional[Observability] = None,
 ) -> RunHistory:
     """Train ``app`` serially for ``epochs`` data passes.
 
@@ -36,6 +38,8 @@ def run_serial(
     """
     import numpy as np
 
+    if tracer is None and obs is not None:
+        tracer = obs.tracer
     tracer = tracer if tracer is not None else NULL_TRACER
     cost = cost or CostModel()
     state = app.init_state(seed)

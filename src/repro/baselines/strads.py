@@ -54,6 +54,8 @@ def run_strads(
     speed_factor: float = 1.0,
     label: Optional[str] = None,
     builder_opts: Optional[dict] = None,
+    options=None,
+    obs=None,
 ) -> RunHistory:
     """Run a manually model-parallel (STRADS) version of a program.
 
@@ -66,9 +68,18 @@ def run_strads(
         builder_opts: extra keyword arguments forwarded to the builder —
             e.g. ``{"tracer": tracer, "trace_process": "strads"}`` to place
             this run's spans next to Orion's in one trace file.
+        options: optional :class:`~repro.runtime.options.LoopOptions`
+            (e.g. carrying a fault plan/checkpoint config) forwarded to the
+            builder's ``parallel_for`` calls.
+        obs: optional bundled observability, forwarded likewise.
     """
+    opts = dict(builder_opts or {})
+    if options is not None:
+        opts.setdefault("options", options)
+    if obs is not None:
+        opts.setdefault("obs", obs)
     program = build_program(
-        strads_cluster(base_cluster, speed_factor), **(builder_opts or {})
+        strads_cluster(base_cluster, speed_factor), **opts
     )
     history = program.run(epochs)
     history.label = label or f"STRADS {program.label.replace('Orion ', '')}"

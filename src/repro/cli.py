@@ -21,13 +21,25 @@ timeline (open in `ui.perfetto.dev`; with ``--engine all`` every engine
 appears as its own process, side by side).  ``--report`` prints a
 straggler/utilization summary.  ``--history-out`` writes the run histories
 as machine-readable JSON.
+
+Fault injection (see ``docs/fault_tolerance.md``)::
+
+    python -m repro.cli mf --faults seed=7,crashes=1,drops=0.02 \
+        --ckpt-every 2 --epochs 6
+
+``--faults`` attaches a deterministic fault plan (worker crashes, message
+drops, stragglers) to engines that support it (orion, orion-ordered,
+bosen, strads); ``--ckpt-every N`` checkpoints the model every N passes so
+crashes replay from the latest checkpoint instead of from scratch.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 from typing import Dict, List, Optional
 
 from repro.apps import (
@@ -59,6 +71,7 @@ from repro.data import (
     regression_table,
     sparse_classification,
 )
+from repro.faults.plan import FaultPlan
 from repro.obs import (
     MetricsRegistry,
     Tracer,
@@ -66,8 +79,10 @@ from repro.obs import (
     straggler_report,
     write_chrome_trace,
 )
+from repro.runtime.checkpoint import CheckpointConfig
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.history import RunHistory
+from repro.runtime.options import LoopOptions
 
 __all__ = ["main", "build_parser"]
 
@@ -116,7 +131,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--history-out", metavar="PATH", default=None,
         help="write run histories (records+traffic+meta) as JSON",
     )
+    parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject faults, e.g. 'seed=7,crashes=1,drops=0.02,"
+             "stragglers=1,slowdown=3.0' (engines: orion, orion-ordered, "
+             "bosen, strads; see docs/fault_tolerance.md)",
+    )
+    parser.add_argument(
+        "--ckpt-every", type=int, metavar="N", default=None,
+        help="checkpoint the model every N passes so crashes replay from "
+             "the latest checkpoint instead of the initial state",
+    )
+    parser.add_argument(
+        "--ckpt-dir", metavar="PATH", default=None,
+        help="checkpoint directory (default: a fresh temp directory; "
+             "each engine writes its own subdirectory)",
+    )
     return parser
+
+
+def _fault_plan(args, cluster: ClusterSpec) -> Optional[FaultPlan]:
+    """A fresh plan per engine — plans track which crashes already fired."""
+    if not args.faults:
+        return None
+    return FaultPlan.from_spec(
+        args.faults, epochs=args.epochs, num_workers=cluster.num_workers
+    )
+
+
+def _fault_options(
+    engine: str, args, cluster: ClusterSpec
+) -> Optional[LoopOptions]:
+    """LoopOptions carrying this engine's fault plan / checkpoint config.
+
+    GBT runs several parallel loops per boosting round, which would race on
+    one checkpoint directory — it gets fault injection but no on-disk
+    checkpointing (crashes replay from the initial in-memory snapshot).
+    """
+    if not (args.faults or args.ckpt_every):
+        return None
+    checkpoint = None
+    if args.ckpt_every and args.app != "gbt":
+        checkpoint = CheckpointConfig(
+            directory=os.path.join(args.ckpt_dir, engine),
+            every_n_epochs=args.ckpt_every,
+        )
+    return LoopOptions(faults=_fault_plan(args, cluster), checkpoint=checkpoint)
 
 
 def _dataset_and_builders(args):
@@ -206,20 +266,29 @@ def _run_engine(
             tracer=tracer,
         )
     if engine == "orion":
-        return builder(cluster, **obs_opts).run(args.epochs)
+        fault_opts = _fault_options(engine, args, cluster)
+        extra = {"options": fault_opts} if fault_opts is not None else {}
+        return builder(cluster, **obs_opts, **extra).run(args.epochs)
     if engine == "orion-ordered":
+        fault_opts = _fault_options(engine, args, cluster)
+        extra = {"options": fault_opts} if fault_opts is not None else {}
         try:
             return builder(
                 cluster, ordered=True,
                 **dict(obs_opts, trace_process="orion-ordered")
                 if obs_opts else {},
+                **extra,
             ).run(args.epochs)
         except TypeError:
             return None  # app builder has no ordered mode (GBT)
     if app is None:
         return None  # remaining engines need the numpy app form
     if engine == "bosen":
-        return run_bosen(app, cluster, args.epochs, seed=args.seed, **obs_opts)
+        return run_bosen(
+            app, cluster, args.epochs, seed=args.seed,
+            faults=_fault_plan(args, cluster), ckpt_every=args.ckpt_every,
+            **obs_opts,
+        )
     if engine == "cm":
         return run_managed_comm(
             app, cluster, args.epochs, bandwidth_budget_mbps=1600,
@@ -230,6 +299,7 @@ def _run_engine(
             builder, cluster, args.epochs,
             builder_opts=dict(obs_opts, trace_process="strads")
             if obs_opts else None,
+            options=_fault_options(engine, args, cluster),
         )
     if engine == "tf":
         if not isinstance(app, SGDMFApp):
@@ -255,6 +325,9 @@ def _print_history(history: RunHistory, out) -> None:
     if kernel_path is not None:
         path = "batched kernel" if kernel_path else "scalar body"
         out.write(f"execution path: {path}\n")
+    recoveries = history.meta.get("recoveries")
+    if recoveries:
+        out.write(f"crash recoveries: {recoveries}\n")
     out.write(
         f"{'pass':>5s} {'loss':>14s} {'time (s)':>10s} {'MB sent':>9s} "
         f"{'util%':>6s}\n"
@@ -284,6 +357,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     tracing = bool(args.trace or args.report)
     tracer = Tracer() if tracing else None
     metrics = MetricsRegistry() if tracing else None
+
+    if args.ckpt_every and not args.ckpt_dir:
+        args.ckpt_dir = tempfile.mkdtemp(prefix="orion-ckpt-")
 
     engines = ENGINES if args.engine == "all" else [args.engine]
     results: Dict[str, RunHistory] = {}

@@ -55,3 +55,9 @@ class CheckpointError(ReproError):
 class AccumulatorError(ReproError):
     """An accumulator was used incorrectly (unknown name, non-associative
     aggregation request, reset of an unregistered accumulator)."""
+
+
+class FaultError(ReproError):
+    """A fault plan is malformed (conflicting crash coordinates, invalid
+    drop probability, unparsable ``--faults`` spec) or recovery was asked
+    to proceed from an impossible state."""

@@ -1,0 +1,104 @@
+"""An unreliable network link: drops, timeouts, retries — memoized.
+
+The executor computes each transfer's cost in two places (the schedule
+timing model and the traffic/span emitter).  :class:`FaultyLink` keys
+every message by ``(epoch serial, message key)`` and memoizes its
+:class:`LinkOutcome`, so both call sites observe the *same* drop outcome
+and the injected loss stays deterministic no matter how often a message's
+cost is asked for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.runtime.network import NetworkModel
+
+__all__ = ["LinkOutcome", "FaultyLink"]
+
+
+@dataclass(frozen=True)
+class LinkOutcome:
+    """The resolved fate of one message on an unreliable link.
+
+    Attributes:
+        seconds: total virtual time from first send to delivery (retry
+            penalty + the surviving attempt's transfer time).
+        attempts: sends performed (1 = delivered first try).
+        nbytes_sent: bytes put on the wire across all attempts.
+    """
+
+    seconds: float
+    attempts: int
+    nbytes_sent: float
+
+
+class FaultyLink:
+    """Applies a :class:`FaultPlan`'s message drops to network transfers.
+
+    Args:
+        plan: the fault plan (supplies drop probability and retry policy).
+        network: the underlying loss-free cost model.
+        metrics: observability registry; counts ``messages_total``,
+            ``message_drops_total`` and ``retry_seconds_total``.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        network: NetworkModel,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.plan = plan
+        self.network = network
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._epoch_serial = 0
+        self._memo: Dict[Tuple, LinkOutcome] = {}
+
+    def begin_epoch(self, epoch_serial: int) -> None:
+        """Start a new message namespace (and clear the per-epoch memo)."""
+        self._epoch_serial = int(epoch_serial)
+        self._memo.clear()
+
+    def transfer(
+        self, nbytes: float, key: Tuple, intra_machine: bool = False
+    ) -> LinkOutcome:
+        """Deliver one message, resolving (and memoizing) its drops.
+
+        ``key`` identifies the message within the current epoch — e.g.
+        ``("rotation", worker, step)`` — and fully determines the drop
+        outcome together with the plan's seed and the epoch serial.
+        """
+        memo_key = (key, intra_machine)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            return cached
+        drops = self.plan.drop_count(self._epoch_serial, key)
+        attempts = drops + 1
+        seconds = self.network.reliable_transfer_time(
+            nbytes, drops, self.plan.retry, intra_machine
+        )
+        outcome = LinkOutcome(
+            seconds=seconds,
+            attempts=attempts,
+            nbytes_sent=float(nbytes) * attempts,
+        )
+        self._memo[memo_key] = outcome
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.counter("messages_total").inc(attempts)
+            if drops:
+                metrics.counter("message_drops_total").inc(drops)
+                metrics.counter("retry_seconds_total").inc(
+                    self.plan.retry.penalty_s(drops)
+                )
+        return outcome
+
+    def transfer_time(
+        self, nbytes: float, intra_machine: bool = False, key: Tuple = ()
+    ) -> float:
+        """Drop-aware replacement for ``NetworkModel.transfer_time``."""
+        return self.transfer(nbytes, key, intra_machine).seconds

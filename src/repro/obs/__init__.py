@@ -9,8 +9,11 @@ Quick use::
 
     from repro.obs import MetricsRegistry, Tracer, write_chrome_trace
 
-    tracer, metrics = Tracer(), MetricsRegistry()
-    ctx = OrionContext(cluster=cluster, tracer=tracer, metrics=metrics)
+    from repro.obs.observability import Observability
+
+    obs = Observability.enabled()
+    tracer, metrics = obs.tracer, obs.metrics
+    ctx = OrionContext(cluster=cluster, obs=obs)
     ...  # build and run parallel loops
     write_chrome_trace(tracer, "trace.json")   # open in ui.perfetto.dev
     print(straggler_report(tracer, metrics))
@@ -30,6 +33,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.observability import Observability
 from repro.obs.report import straggler_report, utilization_lines
 from repro.obs.tracer import NULL_TRACER, Span, Tracer
 
@@ -37,6 +41,7 @@ __all__ = [
     "Span",
     "Tracer",
     "NULL_TRACER",
+    "Observability",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,69 @@
+"""One handle on the observability pair: tracer + metrics.
+
+Every instrumented surface in this package used to take two keyword
+arguments (``tracer=``, ``metrics=``); :class:`Observability` bundles them
+so contexts, loops, baselines and the CLI thread a single object around.
+The legacy two-kwarg form keeps working everywhere — explicit ``tracer=``
+/ ``metrics=`` arguments override the bundle component-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = ["Observability"]
+
+
+@dataclass
+class Observability:
+    """A tracer and a metrics registry, threaded together.
+
+    ``Observability.disabled()`` (the default everywhere) shares the
+    zero-overhead NULL singletons; ``Observability.enabled()`` makes a
+    fresh live pair for one run.
+    """
+
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+    metrics: MetricsRegistry = field(default_factory=lambda: NULL_METRICS)
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """The shared no-op pair (zero per-call overhead)."""
+        return cls(tracer=NULL_TRACER, metrics=NULL_METRICS)
+
+    @classmethod
+    def enabled(cls) -> "Observability":
+        """A fresh live tracer + metrics registry."""
+        return cls(tracer=Tracer(), metrics=MetricsRegistry())
+
+    @property
+    def enabled_any(self) -> bool:
+        """Whether either component actually records."""
+        return bool(self.tracer.enabled or self.metrics.enabled)
+
+    @classmethod
+    def resolve(
+        cls,
+        obs: Optional["Observability"] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        default: Optional["Observability"] = None,
+    ) -> "Observability":
+        """Merge the new bundle form with the legacy two-kwarg form.
+
+        Component-wise precedence: an explicit ``tracer=``/``metrics=``
+        wins, then the ``obs`` bundle, then ``default`` (e.g. a context's
+        observability), then the disabled singletons.
+        """
+        base = default if default is not None else cls.disabled()
+        resolved_tracer = tracer
+        if resolved_tracer is None:
+            resolved_tracer = obs.tracer if obs is not None else base.tracer
+        resolved_metrics = metrics
+        if resolved_metrics is None:
+            resolved_metrics = obs.metrics if obs is not None else base.metrics
+        return cls(tracer=resolved_tracer, metrics=resolved_metrics)

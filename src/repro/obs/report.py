@@ -18,7 +18,11 @@ from repro.obs.tracer import Span, Tracer
 __all__ = ["straggler_report", "utilization_lines"]
 
 #: Traffic categories whose spans count as transfer, not worker busy time.
-_TRAFFIC_CATS = ("rotation", "flush", "prefetch", "broadcast", "sync")
+_TRAFFIC_CATS = ("rotation", "flush", "prefetch", "broadcast", "sync",
+                 "restore")
+
+#: Fault-subsystem span categories (on the ``faults`` track).
+_FAULT_CATS = ("fault", "recovery", "checkpoint", "straggler")
 
 
 def _fmt_seconds(value: float) -> str:
@@ -116,6 +120,20 @@ def straggler_report(
                 for kind, total in sorted(traffic_totals.items())
             )
             lines.append(f"  traffic: {rendered}")
+        fault_spans = [
+            span
+            for cat in _FAULT_CATS
+            for span in tracer.filter(cat=cat, process=process)
+        ]
+        if fault_spans:
+            lines.append("  faults/recovery:")
+            for span in sorted(fault_spans, key=lambda s: s.t_start):
+                lines.append(
+                    f"    [{span.cat}] {span.name:32s}"
+                    f" {_fmt_seconds(span.duration)}"
+                    f"  [{span.t_start * 1e3:.3f} .. "
+                    f"{span.t_end * 1e3:.3f} ms]"
+                )
         lines.append("")
     if metrics is not None and metrics.enabled:
         lines.append("== metrics ==")

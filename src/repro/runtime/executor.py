@@ -31,12 +31,12 @@ from repro.analysis.strategy import PlacementKind, Plan, Strategy
 from repro.core import access
 from repro.core.distarray import DistArray
 from repro.errors import ExecutionError
-from repro.obs.metrics import NULL_METRICS, MetricsRegistry
-from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.obs.observability import Observability
 from repro.runtime import partition as parts
 from repro.runtime import schedule as sched
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.kernels import KernelContext, normalize_index
+from repro.runtime.options import UNSET, LoopOptions
 from repro.runtime.pserver import PrefetchManager, index_nbytes
 
 __all__ = ["EpochResult", "OrionExecutor", "indices_overlap"]
@@ -166,6 +166,14 @@ class EpochResult:
     utilization: float = 0.0
     #: Whether blocks ran through the batched-kernel fast path.
     kernel_path: bool = False
+    #: Epoch-relative barrier intervals the schedule charged — the points
+    #: at which a crashed worker becomes detectable.
+    barriers: List[Tuple[float, float]] = field(default_factory=list)
+    #: Injected-crash record when this pass was aborted (``None`` for a
+    #: clean pass): kind/victim/at_s/detected_s/epoch.  An aborted pass's
+    #: ``epoch_time_s`` covers start → detection (+ detection timeout);
+    #: the driver loop restores a checkpoint and replays.
+    fault: Optional[Dict[str, Any]] = None
 
 
 class OrionExecutor:
@@ -176,6 +184,13 @@ class OrionExecutor:
         info: static analysis of the body.
         plan: the chosen parallelization.
         cluster: simulated cluster spec.
+        options: a :class:`~repro.runtime.options.LoopOptions` carrying
+            every knob below plus the fault-injection configuration
+            (``faults`` / ``checkpoint``).  The individual keyword
+            arguments remain accepted; explicitly passed ones override
+            the corresponding ``options`` field.
+        obs: bundled observability (tracer + metrics); the legacy
+            ``tracer=`` / ``metrics=`` kwargs override it component-wise.
         pipeline_depth: time partitions per worker for unordered 2D
             (paper Fig. 8 uses 2).
         balance: histogram-balanced partition bounds (vs. equal width).
@@ -219,37 +234,72 @@ class OrionExecutor:
         info: LoopInfo,
         plan: Plan,
         cluster: ClusterSpec,
-        pipeline_depth: int = 2,
-        balance: bool = True,
-        validate: bool = False,
-        prefetch: str = "auto",
-        cache_prefetch: bool = True,
-        concurrency: str = "serial",
-        kernel: Optional[Callable[..., Any]] = None,
-        equivalence_check: bool = False,
-        tracer: Optional[Tracer] = None,
-        metrics: Optional[MetricsRegistry] = None,
-        trace_process: str = "orion",
+        options: Optional[LoopOptions] = None,
+        obs: Optional[Observability] = None,
+        pipeline_depth: Any = UNSET,
+        balance: Any = UNSET,
+        validate: Any = UNSET,
+        prefetch: Any = UNSET,
+        cache_prefetch: Any = UNSET,
+        concurrency: Any = UNSET,
+        kernel: Any = UNSET,
+        equivalence_check: Any = UNSET,
+        tracer: Any = UNSET,
+        metrics: Any = UNSET,
+        trace_process: Any = UNSET,
     ) -> None:
-        if prefetch not in ("auto", "none"):
-            raise ExecutionError(f"unknown prefetch mode {prefetch!r}")
-        if concurrency not in ("serial", "threads"):
-            raise ExecutionError(f"unknown concurrency mode {concurrency!r}")
-        self.concurrency = concurrency
+        opts = options if options is not None else LoopOptions()
+        opts = opts.merged_with(
+            pipeline_depth=pipeline_depth,
+            balance=balance,
+            validate=validate,
+            prefetch=prefetch,
+            cache_prefetch=cache_prefetch,
+            concurrency=concurrency,
+            kernel=kernel,
+            equivalence_check=equivalence_check,
+            tracer=tracer,
+            metrics=metrics,
+            trace_process=trace_process,
+        )
+        if obs is not None:
+            opts = opts.merged_with(obs=obs)
+        if opts.prefetch not in ("auto", "none"):
+            raise ExecutionError(f"unknown prefetch mode {opts.prefetch!r}")
+        if opts.concurrency not in ("serial", "threads"):
+            raise ExecutionError(
+                f"unknown concurrency mode {opts.concurrency!r}"
+            )
+        self.options = opts
+        self.concurrency = opts.concurrency
         self.body = body
         self.info = info
         self.plan = plan
         self.cluster = cluster
-        self.pipeline_depth = max(1, int(pipeline_depth))
-        self.balance = balance
-        self.validate = validate
-        self.prefetch_mode = prefetch
-        self.cache_prefetch = cache_prefetch
-        self.kernel = kernel
-        self.equivalence_check = equivalence_check
-        self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.metrics = metrics if metrics is not None else NULL_METRICS
-        self.trace_process = trace_process
+        self.pipeline_depth = max(1, int(opts.pipeline_depth))
+        self.balance = opts.balance
+        self.validate = opts.validate
+        self.prefetch_mode = opts.prefetch
+        self.cache_prefetch = opts.cache_prefetch
+        self.kernel = opts.kernel
+        self.equivalence_check = opts.equivalence_check
+        resolved = opts.resolve_obs()
+        self.obs = resolved
+        self.tracer = resolved.tracer
+        self.metrics = resolved.metrics
+        self.trace_process = opts.trace_process
+        self.faults = opts.faults
+        #: Unreliable link wrapping the network when the plan drops
+        #: messages; ``None`` keeps every transfer on the loss-free path.
+        #: (Imported lazily: repro.faults imports repro.runtime.network,
+        #: so a module-level import here would be circular.)
+        self._link = None
+        if self.faults is not None and self.faults.drops is not None:
+            from repro.faults.link import FaultyLink
+
+            self._link = FaultyLink(
+                self.faults, cluster.network, metrics=self.metrics
+            )
         self._equivalence_checked = False
         #: Per-block caches handed to kernels (index arrays, conflict
         #: groups, memoized accounting) — persist across epochs.
@@ -396,16 +446,34 @@ class OrionExecutor:
         """Whether blocks execute through the batched-kernel fast path."""
         return self.kernel is not None and self._kernel_supported
 
-    def run_epoch(self, t0: float = 0.0) -> EpochResult:
+    def run_epoch(
+        self, t0: float = 0.0, epoch: Optional[int] = None
+    ) -> EpochResult:
         """Execute one full pass over the iteration space.
 
         Args:
-            t0: absolute virtual time at which this epoch starts — only
-                used to place trace spans on the global timeline (epoch
-                timing itself is epoch-relative and unaffected).
+            t0: absolute virtual time at which this epoch starts — used to
+                place trace spans on the global timeline and to resolve
+                time-pinned fault events (epoch timing itself is
+                epoch-relative).
+            epoch: logical 1-based epoch number, used to match
+                epoch-pinned fault events (crashes/stragglers).  ``None``
+                (direct executor use) leaves epoch-pinned events dormant.
+
+        With a fault plan attached, a crash inside this pass truncates it:
+        state mutations of the full pass have already happened (the
+        simulation executes numerics up front), but the result reports
+        only the work finished before the crash was detected at the next
+        barrier, sets :attr:`EpochResult.fault`, and charges start →
+        detection + detection timeout.  The driver loop
+        (:class:`~repro.api.ParallelLoop`) then restores a checkpoint and
+        replays — see :mod:`repro.faults.recovery`.
         """
         if not self._ready:
             raise ExecutionError("executor not set up")
+        faults = self.faults
+        if self._link is not None:
+            self._link.begin_epoch(self.epochs_run)
         work_s = np.zeros((self.num_workers, self.num_time))
         flush_bytes = np.zeros((self.num_workers, self.num_time))
         prefetch_bytes = np.zeros((self.num_workers, self.num_time))
@@ -422,16 +490,28 @@ class OrionExecutor:
                 compute = self.cluster.cost.compute_time(stats.entries)
                 if self.prefetch.prefetch_fn is not None:
                     block = self.partitions.block(*block_key)
-                    cost = self.prefetch.block_read_cost(block_key, block)
+                    cost = self.prefetch.block_read_cost(
+                        block_key, block, link=self._link
+                    )
                 else:
                     cost = self.prefetch.random_access_cost_from_counts(
                         stats.server_reads, stats.server_read_bytes
                     )
-                flush_transfer = (
-                    self.cluster.network.transfer_time(stats.flush_bytes)
-                    if stats.flush_bytes
-                    else 0.0
-                )
+                flush_transfer = 0.0
+                flush_messages = 0
+                if stats.flush_bytes:
+                    if self._link is not None:
+                        outcome = self._link.transfer(
+                            stats.flush_bytes,
+                            key=("flush",) + tuple(block_key),
+                        )
+                        flush_transfer = outcome.seconds
+                        flush_messages = outcome.attempts
+                    else:
+                        flush_transfer = self.cluster.network.transfer_time(
+                            stats.flush_bytes
+                        )
+                        flush_messages = 1
                 # Serializing the outgoing rotated partition is CPU work on
                 # the worker — pipelining cannot hide it (paper Sec. 6.4).
                 marshalling = 0.0
@@ -441,8 +521,9 @@ class OrionExecutor:
                         * self.rotated_block_bytes
                     )
                 # Per-message CPU (request setup, locking): one prefetch
-                # request plus one flush message per block, when present.
-                messages = cost.num_requests + (1 if stats.flush_bytes else 0)
+                # request plus one flush message per block, when present
+                # (dropped messages pay per-message CPU per resend).
+                messages = cost.num_requests + flush_messages
                 message_cpu = self.cluster.cost.per_message_cpu_s * messages
                 time_idx = task.time_idx or 0
                 work_s[task.space_idx, time_idx] = (
@@ -466,26 +547,155 @@ class OrionExecutor:
             self._check_serializability(validation)
             self.metrics.counter("serializability_validations_total").inc()
 
+        straggled = self._apply_stragglers(work_s, phases, epoch, t0, tracing)
         timing = self._timing(work_s)
-        events = self._traffic_events(
-            timing, work_s, flush_bytes, prefetch_bytes, t0=t0
+        crash = (
+            faults.claim_crash(epoch, t0, t0 + timing.makespan)
+            if faults is not None
+            else None
         )
-        total_bytes = sum(event[2] for event in events)
-        busy = float(work_s.sum())
-        capacity = self.num_workers * timing.makespan
+
+        if crash is None:
+            events = self._traffic_events(
+                timing, work_s, flush_bytes, prefetch_bytes, t0=t0
+            )
+            total_bytes = sum(event[2] for event in events)
+            busy = float(work_s.sum())
+            makespan = timing.makespan
+            num_tasks = len(task_records)
+            barriers = list(timing.barriers)
+            fault_info = None
+            cutoff = None
+        else:
+            # The crash becomes visible at the next barrier; recovery is
+            # decided after the detection timeout.  Only work finished
+            # before detection counts — the rest is lost and replayed.
+            crash_rel = crash.at_s - t0
+            detect_rel = timing.makespan
+            for b_start, b_end in timing.barriers:
+                if b_end >= crash_rel:
+                    detect_rel = b_end
+                    break
+            detect_rel = max(detect_rel, crash_rel)
+            makespan = detect_rel + faults.costs.detection_timeout_s
+            cutoff = crash_rel
+            events = self._traffic_events(
+                timing, work_s, flush_bytes, prefetch_bytes, t0=t0,
+                cutoff=cutoff,
+            )
+            total_bytes = sum(event[2] for event in events)
+            busy = 0.0
+            num_tasks = 0
+            for step_tasks in self.steps:
+                for task in step_tasks:
+                    finish = timing.finish.get((task.worker, task.step))
+                    if finish is None or finish > detect_rel:
+                        continue
+                    busy += float(work_s[task.space_idx, task.time_idx or 0])
+                    num_tasks += 1
+            barriers = [b for b in timing.barriers if b[1] <= detect_rel]
+            fault_info = {
+                "kind": (
+                    "machine_crash"
+                    if crash.crash.machine is not None
+                    else "worker_crash"
+                ),
+                "victim": crash.describe(),
+                "worker": crash.crash.worker,
+                "machine": crash.crash.machine,
+                "at_s": crash.at_s,
+                "detected_s": t0 + detect_rel,
+                "epoch": epoch,
+            }
+
+        capacity = self.num_workers * makespan
         self.epochs_run += 1
         result = EpochResult(
-            epoch_time_s=timing.makespan,
+            epoch_time_s=makespan,
             bytes_sent=total_bytes,
             events=events,
-            num_tasks=len(task_records),
+            num_tasks=num_tasks,
             utilization=busy / capacity if capacity > 0 else 0.0,
             kernel_path=self.kernel_path,
+            barriers=barriers,
+            fault=fault_info,
         )
         if tracing:
-            self._emit_spans(t0, timing, work_s, phases, result)
-        self._record_metrics(result, work_s)
+            self._emit_spans(t0, timing, work_s, phases, result, cutoff=cutoff)
+            self._emit_fault_spans(t0, result, straggled)
+        if crash is None:
+            self._record_metrics(result, work_s)
+        elif self.metrics.enabled:
+            self.metrics.counter("worker_crashes_total").inc()
+            self.metrics.counter("fault_lost_seconds_total").inc(makespan)
+        if straggled and self.metrics.enabled:
+            self.metrics.counter("straggler_epochs_total").inc()
         return result
+
+    def _apply_stragglers(
+        self,
+        work_s: np.ndarray,
+        phases: Dict[Tuple[int, int], Tuple[float, float, float, float]],
+        epoch: Optional[int],
+        t0: float,
+        tracing: bool,
+    ) -> Dict[int, float]:
+        """Scale straggling workers' block times in place.
+
+        Time-windowed stragglers need the epoch's extent to compute their
+        overlap, so a baseline timing pass estimates it first (only when
+        the plan actually has stragglers — the no-fault path never pays
+        for it).  ``space_idx == worker`` in every schedule, so scaling
+        row ``worker`` of ``work_s`` slows exactly that worker's blocks;
+        each phase breakdown is scaled by the same factor so phase spans
+        keep partitioning their block.
+        """
+        if self.faults is None or not self.faults.stragglers:
+            return {}
+        baseline = self._timing(work_s).makespan
+        factors = self.faults.straggle_factors(epoch, t0, t0 + baseline)
+        applied: Dict[int, float] = {}
+        for worker in sorted(factors):
+            if not 0 <= worker < self.num_workers:
+                continue
+            factor = factors[worker]
+            work_s[worker, :] *= factor
+            applied[worker] = factor
+            if tracing:
+                for time_idx in range(self.num_time):
+                    breakdown = phases.get((worker, time_idx))
+                    if breakdown is not None:
+                        phases[(worker, time_idx)] = tuple(
+                            value * factor for value in breakdown
+                        )
+        return applied
+
+    def _emit_fault_spans(
+        self, t0: float, result: EpochResult, straggled: Dict[int, float]
+    ) -> None:
+        """Fault-injection spans on the ``faults`` track (tracing only)."""
+        tracer, process = self.tracer, self.trace_process
+        end = t0 + result.epoch_time_s
+        for worker, factor in straggled.items():
+            tracer.add_span(
+                f"straggler worker{worker} x{factor:.2f}",
+                "straggler",
+                t0,
+                end,
+                track="faults",
+                process=process,
+                args={"worker": worker, "slowdown": factor},
+            )
+        if result.fault is not None:
+            tracer.add_span(
+                f"crash {result.fault['victim']}",
+                "fault",
+                result.fault["at_s"],
+                end,
+                track="faults",
+                process=process,
+                args=dict(result.fault),
+            )
 
     def _record_metrics(self, result: EpochResult, work_s: np.ndarray) -> None:
         metrics = self.metrics
@@ -515,6 +725,7 @@ class OrionExecutor:
         work_s: np.ndarray,
         phases: Dict[Tuple[int, int], Tuple[float, float, float, float]],
         result: EpochResult,
+        cutoff: Optional[float] = None,
     ) -> None:
         """Place this epoch's execution on the virtual timeline.
 
@@ -524,13 +735,21 @@ class OrionExecutor:
         block's charged work, with nested phase spans (``prefetch`` /
         ``compute`` / ``flush`` / ``overhead``) partitioning it.  Traffic
         spans are emitted by :meth:`_traffic_events`.
+
+        ``cutoff`` (epoch-relative) truncates an aborted pass at the crash
+        point: blocks starting after it are not shown, a block in flight
+        is clipped and marked aborted.
         """
         tracer, process = self.tracer, self.trace_process
+        aborted = result.fault is not None
+        epoch_name = f"epoch {self.epochs_run}"
+        if aborted:
+            epoch_name += " (aborted)"
         tracer.add_span(
-            f"epoch {self.epochs_run}",
+            epoch_name,
             "epoch",
             t0,
-            t0 + timing.makespan,
+            t0 + result.epoch_time_s,
             track="epochs",
             process=process,
             args={
@@ -541,7 +760,7 @@ class OrionExecutor:
                 "strategy": self.plan.strategy.name,
             },
         )
-        for t_start, t_end in timing.barriers:
+        for t_start, t_end in result.barriers:
             tracer.add_span(
                 "barrier",
                 "barrier",
@@ -560,22 +779,28 @@ class OrionExecutor:
                 time_idx = task.time_idx or 0
                 duration = float(work_s[task.space_idx, time_idx])
                 start = finish - duration
+                if cutoff is not None and start >= cutoff:
+                    continue
+                clipped = cutoff is not None and finish > cutoff
+                end = min(finish, cutoff) if clipped else finish
                 track = f"worker{task.worker}"
                 breakdown = phases.get((task.space_idx, time_idx))
                 args = {"step": task.step, "space": task.space_idx,
                         "time": time_idx}
+                if clipped:
+                    args["aborted"] = True
                 if breakdown is not None:
                     args.update(zip(phase_names, breakdown))
                 tracer.add_span(
                     f"block[{task.space_idx},{time_idx}]",
                     "block",
                     t0 + start,
-                    t0 + finish,
+                    t0 + end,
                     track=track,
                     process=process,
                     args=args,
                 )
-                if breakdown is None:
+                if breakdown is None or clipped:
                     continue
                 cursor = start
                 for phase_name, phase_s in zip(phase_names, breakdown):
@@ -823,15 +1048,18 @@ class OrionExecutor:
 
     def _timing(self, work_s: np.ndarray) -> sched.ScheduleTiming:
         plan = self.plan
+        transfer = self._link.transfer_time if self._link is not None else None
         if plan.strategy in (Strategy.ONE_D, Strategy.DATA_PARALLEL):
             return sched.time_one_d(work_s, self.cluster)
         if plan.strategy is Strategy.TWO_D:
             if plan.ordered:
                 return sched.time_ordered_2d(
-                    work_s, self.cluster, self.rotated_block_bytes
+                    work_s, self.cluster, self.rotated_block_bytes,
+                    transfer_time=transfer,
                 )
             return sched.time_unordered_2d(
-                work_s, self.cluster, self.rotated_block_bytes
+                work_s, self.cluster, self.rotated_block_bytes,
+                transfer_time=transfer,
             )
         return sched.time_sequential_outer(work_s, self.cluster)
 
@@ -842,17 +1070,28 @@ class OrionExecutor:
         flush_bytes: np.ndarray,
         prefetch_bytes: np.ndarray,
         t0: float = 0.0,
+        cutoff: Optional[float] = None,
     ) -> List[Tuple[float, float, float, str]]:
         """Epoch-relative traffic events; when tracing, the same transfers
         are also emitted as spans on per-kind network tracks (offset by
-        ``t0`` onto the global timeline, with worker/hop attribution)."""
+        ``t0`` onto the global timeline, with worker/hop attribution).
+
+        With an unreliable link attached, each message's duration and
+        bytes come from its memoized drop outcome (resent bytes count);
+        the message keys match the ones the timing model and the prefetch
+        manager used, so both sides of the accounting agree.  ``cutoff``
+        (epoch-relative) suppresses messages an aborted pass never sent.
+        """
         tracer, process = self.tracer, self.trace_process
         tracing = tracer.enabled
         metrics = self.metrics
+        link = self._link
 
         events: List[Tuple[float, float, float, str]] = []
 
         def emit(t_start, t_end, nbytes, kind, worker=None, hop=None):
+            if cutoff is not None and t_start >= cutoff:
+                return
             events.append((t_start, t_end, nbytes, kind))
             metrics.counter(f"traffic_bytes_{kind}").inc(nbytes)
             if tracing:
@@ -873,9 +1112,16 @@ class OrionExecutor:
 
         if self._replicated_bytes:
             nbytes = self._replicated_bytes * self.cluster.num_machines
-            duration = self.cluster.network.transfer_time(
-                self._replicated_bytes
-            )
+            if link is not None:
+                outcome = link.transfer(
+                    self._replicated_bytes, key=("broadcast",)
+                )
+                duration = outcome.seconds
+                nbytes *= outcome.attempts
+            else:
+                duration = self.cluster.network.transfer_time(
+                    self._replicated_bytes
+                )
             emit(0.0, duration, nbytes, "broadcast")
         rotated = self.rotated_block_bytes
         num_workers = self.num_workers
@@ -887,23 +1133,50 @@ class OrionExecutor:
                 time_idx = task.time_idx or 0
                 start = finish - float(work_s[task.space_idx, time_idx])
                 if rotated and self.plan.strategy is Strategy.TWO_D:
-                    duration = self.cluster.network.transfer_time(rotated)
+                    nbytes = rotated
+                    if link is not None:
+                        # Same message keys as the timing model: per global
+                        # step when ordered, per (sender, step) otherwise.
+                        key = (
+                            ("rotation", task.step)
+                            if self.plan.ordered
+                            else ("rotation", task.worker, task.step)
+                        )
+                        outcome = link.transfer(rotated, key=key)
+                        duration = outcome.seconds
+                        nbytes = outcome.nbytes_sent
+                    else:
+                        duration = self.cluster.network.transfer_time(rotated)
                     # The finished rotated partition moves to the worker's
                     # predecessor in rotation order.
                     hop = (
                         f"{task.worker}->"
                         f"{(task.worker - 1) % num_workers}"
                     )
-                    emit(finish, finish + duration, rotated, "rotation",
+                    emit(finish, finish + duration, nbytes, "rotation",
                          worker=task.worker, hop=hop)
                 fb = float(flush_bytes[task.space_idx, time_idx])
                 if fb:
-                    duration = self.cluster.network.transfer_time(fb)
+                    if link is not None:
+                        outcome = link.transfer(
+                            fb, key=("flush", task.space_idx, time_idx)
+                        )
+                        duration = outcome.seconds
+                        fb = outcome.nbytes_sent
+                    else:
+                        duration = self.cluster.network.transfer_time(fb)
                     emit(finish, finish + duration, fb, "flush",
                          worker=task.worker)
                 pb = float(prefetch_bytes[task.space_idx, time_idx])
                 if pb:
-                    duration = self.cluster.network.transfer_time(pb)
+                    if link is not None:
+                        outcome = link.transfer(
+                            pb, key=("prefetch", task.space_idx, time_idx)
+                        )
+                        duration = outcome.seconds
+                        pb = outcome.nbytes_sent
+                    else:
+                        duration = self.cluster.network.transfer_time(pb)
                     emit(start, start + duration, pb, "prefetch",
                          worker=task.worker)
         return events

@@ -1,0 +1,107 @@
+"""LoopOptions: the consolidated configuration of one parallel for-loop.
+
+``OrionContext.parallel_for`` historically grew 14 keyword arguments; this
+dataclass is their single home (plus the fault-injection knobs, which
+exist *only* here).  Both forms work, and mix::
+
+    loop = ctx.parallel_for(data, options=LoopOptions(ordered=True))(body)
+    loop = ctx.parallel_for(data, ordered=True)(body)              # legacy
+    loop = ctx.parallel_for(
+        data, options=LoopOptions(ordered=True), validate=True     # merged
+    )(body)
+
+When both are given, explicitly passed legacy kwargs override the
+corresponding ``LoopOptions`` field (``dataclasses.replace`` semantics) —
+so call sites migrate field by field with no ``DeprecationWarning`` and no
+behavior cliff.  See ``docs/fault_tolerance.md`` for the migration guide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple
+
+from repro.obs.observability import Observability
+
+if TYPE_CHECKING:  # annotation-only: repro.faults imports repro.runtime
+    from repro.faults.plan import FaultPlan
+    from repro.runtime.checkpoint import CheckpointConfig
+
+__all__ = ["LoopOptions", "UNSET"]
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit None/False.
+UNSET: Any = type("_Unset", (), {"__repr__": lambda self: "UNSET"})()
+
+
+@dataclass
+class LoopOptions:
+    """Every knob of one parallel for-loop, in one place.
+
+    Scheduling / execution (the former ``parallel_for`` kwargs):
+
+    Attributes:
+        ordered: enforce lexicographic iteration order.
+        force_dims: override the partitioning-dimension heuristic.
+        pipeline_depth: time partitions per worker for unordered 2D.
+        balance: histogram-balanced partitioning of skewed data.
+        validate: run the serializability validator every epoch.
+        prefetch: ``"auto"`` or ``"none"``.
+        cache_prefetch: cache prefetch indices across epochs.
+        concurrency: ``"serial"`` or ``"threads"``.
+        kernel: optional batched block kernel.
+        equivalence_check: run the first kernel-eligible block through
+            both paths and fail on any difference.
+        tracer / metrics: legacy observability pair (prefer ``obs``).
+        obs: bundled :class:`~repro.obs.observability.Observability`.
+        trace_process: Perfetto process label for this loop's spans.
+
+    Fault tolerance (new — these knobs live only here):
+
+    Attributes:
+        faults: a :class:`~repro.faults.plan.FaultPlan` of injected
+            crashes/drops/stragglers, or ``None`` for today's loss-free
+            cluster (bit-identical to pre-fault-subsystem runs).
+        checkpoint: a :class:`~repro.runtime.checkpoint.CheckpointConfig`
+            making the loop checkpoint its mutated arrays every N epochs
+            and recover from the latest complete tag after a crash.
+    """
+
+    ordered: bool = False
+    force_dims: Optional[Tuple[int, ...]] = None
+    pipeline_depth: int = 2
+    balance: bool = True
+    validate: bool = False
+    prefetch: str = "auto"
+    cache_prefetch: bool = True
+    concurrency: str = "serial"
+    kernel: Optional[Callable[..., Any]] = None
+    equivalence_check: bool = False
+    tracer: Optional[Any] = None
+    metrics: Optional[Any] = None
+    obs: Optional[Observability] = None
+    trace_process: str = "orion"
+    faults: Optional[FaultPlan] = None
+    checkpoint: Optional[CheckpointConfig] = None
+
+    def merged_with(self, **overrides: Any) -> "LoopOptions":
+        """A copy with every non-``UNSET`` override applied."""
+        explicit = {
+            key: value for key, value in overrides.items()
+            if value is not UNSET
+        }
+        return replace(self, **explicit) if explicit else self
+
+    def resolve_obs(
+        self, default: Optional[Observability] = None
+    ) -> Observability:
+        """The effective observability pair for this loop.
+
+        Component-wise: explicit ``tracer``/``metrics`` fields win, then
+        the ``obs`` bundle, then ``default`` (the context's pair).
+        """
+        return Observability.resolve(
+            obs=self.obs,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            default=default,
+        )

@@ -104,6 +104,7 @@ class PrefetchManager:
         self,
         block_key: Any,
         entries: Sequence[Tuple[Tuple[int, ...], Any]],
+        link: Optional[Any] = None,
     ) -> BlockAccessCost:
         """Cost of serving one block's server-array reads.
 
@@ -111,6 +112,11 @@ class PrefetchManager:
         indices plus the function's CPU cost (zero on cache hits).  Without
         a prefetch function the executor measures per-read counts and uses
         :meth:`random_access_cost_from_counts` instead.
+
+        ``link`` optionally routes the bulk request through an unreliable
+        :class:`~repro.faults.link.FaultyLink`: dropped requests pay the
+        retry/backoff penalty and each resend counts as another request
+        (per-message CPU included).
         """
         if not self.arrays or self.prefetch_fn is None:
             return BlockAccessCost(0.0, 0.0, 0)
@@ -137,11 +143,21 @@ class PrefetchManager:
                 * self.prefetch_cpu_fraction
             if self.cache_indices:
                 self._cache[block_key] = (unique_count, nbytes)
-        transfer = self.cluster.network.transfer_time(nbytes) if nbytes else 0.0
+        transfer = 0.0
+        num_requests = 1 if unique_count else 0
+        if nbytes:
+            if link is not None:
+                outcome = link.transfer(
+                    nbytes, key=("prefetch",) + tuple(block_key)
+                )
+                transfer = outcome.seconds
+                num_requests = outcome.attempts
+            else:
+                transfer = self.cluster.network.transfer_time(nbytes)
         return BlockAccessCost(
             seconds=cpu + transfer,
             nbytes=nbytes,
-            num_requests=1 if unique_count else 0,
+            num_requests=num_requests,
         )
 
     def random_access_cost_from_counts(
