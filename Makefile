@@ -1,12 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check compile test trace-smoke fault-smoke bench-smoke clean
+.PHONY: check compile test trace-smoke fault-smoke distributed-smoke \
+	bench-smoke bench-distributed clean
 
 ## Default verification: imports compile, tier-1 tests pass, the tracing
-## pipeline produces a loadable Perfetto trace end to end, and the
-## fault-injection/recovery story holds its invariants.
-check: compile test trace-smoke fault-smoke
+## pipeline produces a loadable Perfetto trace end to end, the
+## fault-injection/recovery story holds its invariants, and the forked
+## multiprocess backend stays bitwise-faithful to the simulated oracle.
+check: compile test trace-smoke fault-smoke distributed-smoke
 
 compile:
 	$(PYTHON) -m compileall -q src
@@ -30,9 +32,20 @@ fault-smoke:
 	$(PYTHON) examples/fault_tolerance.py > /dev/null
 	@echo "fault-smoke ok"
 
+## Tiny-dataset pass of the multiprocess backend on all four apps;
+## asserts the SGD MF run is bitwise identical to the simulated oracle.
+distributed-smoke:
+	$(PYTHON) benchmarks/bench_distributed.py --smoke
+	@echo "distributed-smoke ok"
+
 ## Wall-clock kernel-vs-scalar throughput; writes BENCH_wallclock.json.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_wallclock.py
+
+## Real forked-worker scaling (1/2/4 workers, all four apps) vs the
+## single-process scalar baseline; writes BENCH_distributed.json.
+bench-distributed:
+	$(PYTHON) benchmarks/bench_distributed.py
 
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

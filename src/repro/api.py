@@ -46,6 +46,7 @@ from repro.faults.recovery import RecoveryManager
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observability import Observability
 from repro.obs.tracer import Tracer
+from repro.runtime.backend import Backend, create_backend
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.executor import EpochResult, OrionExecutor
 from repro.runtime.network import TrafficLog
@@ -82,6 +83,19 @@ class ParallelLoop:
         self._epoch = 0
         self._recovery: Optional[RecoveryManager] = None
         opts = self.options
+        if opts.backend == "multiprocess" and (
+            opts.faults is not None or opts.checkpoint is not None
+        ):
+            from repro.errors import ExecutionError
+
+            raise ExecutionError(
+                "fault injection and checkpointing model virtual-clock "
+                "crashes; they are not supported on the multiprocess "
+                "backend (run them on backend='simulated')"
+            )
+        #: The execution engine driving :meth:`run` — see
+        #: :mod:`repro.runtime.backend`.
+        self.backend: Backend = create_backend(self)
         if opts.faults is not None or opts.checkpoint is not None:
             self._recovery = RecoveryManager(
                 self._protected_arrays(opts),
@@ -125,16 +139,30 @@ class ParallelLoop:
         if self._recovery is None:
             for _ in range(epochs):
                 self._epoch += 1
-                result = self.executor.run_epoch(
-                    t0=self.ctx.now, epoch=self._epoch
+                result = self.backend.run_epoch(
+                    t0=self.ctx.now if self.ctx is not None else 0.0,
+                    epoch=self._epoch,
                 )
-                self.ctx._absorb(result)
+                if self.ctx is not None:
+                    self.ctx._absorb(result)
                 results.append(result)
             return results
         for _ in range(epochs):
             self._epoch += 1
             self._run_protected(self._epoch, results)
         return results
+
+    def close(self) -> None:
+        """Release the backend's resources (worker processes, shared
+        memory, thread pools).  Safe to call more than once; the loop can
+        still run afterwards — the backend re-acquires what it needs."""
+        self.backend.close()
+
+    def __enter__(self) -> "ParallelLoop":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _run_protected(self, epoch: int, results: List[EpochResult]) -> None:
         """Run one logical epoch; on a detected crash, restore and replay.
@@ -144,7 +172,7 @@ class ParallelLoop:
         """
         recovery = self._recovery
         assert recovery is not None
-        result = self.executor.run_epoch(t0=self.ctx.now, epoch=epoch)
+        result = self.backend.run_epoch(t0=self.ctx.now, epoch=epoch)
         self.ctx._absorb(result)
         results.append(result)
         if result.fault is None:
@@ -207,6 +235,10 @@ class OrionContext:
         self.traffic = TrafficLog()
         #: Cumulative virtual seconds spent in parallel loops.
         self.now = 0.0
+        #: Cumulative *real* wall-clock seconds spent in parallel loops
+        #: executed by a real backend (``EpochResult.clock == "real"``).
+        #: Kept apart from :attr:`now` — the two clocks never mix.
+        self.real_now = 0.0
         self._arrays: List[DistArray] = []
         self._seed_counter = 0
 
@@ -319,6 +351,7 @@ class OrionContext:
         prefetch: Any = UNSET,
         cache_prefetch: Any = UNSET,
         concurrency: Any = UNSET,
+        backend: Any = UNSET,
         kernel: Any = UNSET,
         equivalence_check: Any = UNSET,
         tracer: Any = UNSET,
@@ -355,6 +388,12 @@ class OrionContext:
                 on; pass ``False`` to model uncached prefetch requests).
             concurrency: ``"serial"`` (deterministic linearization) or
                 ``"threads"`` (same-step blocks run on a thread pool).
+            backend: execution engine for :meth:`ParallelLoop.run` —
+                ``"simulated"`` (virtual-clock oracle, default),
+                ``"threaded"`` (promotes ``concurrency="threads"``), or
+                ``"multiprocess"`` (forked processes over shared-memory
+                partitions, real wall-clock results; see
+                :mod:`repro.runtime.backend`).
             kernel: optional batched block kernel
                 ``kernel(block_entries, kctx)`` producing bit-identical
                 state and accounting to the scalar body (see
@@ -382,6 +421,7 @@ class OrionContext:
             prefetch=prefetch,
             cache_prefetch=cache_prefetch,
             concurrency=concurrency,
+            backend=backend,
             kernel=kernel,
             equivalence_check=equivalence_check,
             tracer=tracer,
@@ -391,6 +431,9 @@ class OrionContext:
         )
         resolved = opts.resolve_obs(default=self.obs)
         final = replace(opts, obs=resolved, tracer=None, metrics=None)
+        if final.backend == "threaded" and final.concurrency == "serial":
+            # The threaded backend *is* the executor's thread-pool mode.
+            final = replace(final, concurrency="threads")
 
         def decorate(body: Callable[..., Any]) -> ParallelLoop:
             info = analyze_loop_body(
@@ -409,6 +452,11 @@ class OrionContext:
     # ---------------- bookkeeping -------------------------------------- #
 
     def _absorb(self, result: EpochResult) -> None:
+        if result.clock == "real":
+            # Real backends measure the host, not the cost model: advance
+            # the wall clock and leave the virtual timeline untouched.
+            self.real_now += result.epoch_time_s
+            return
         for t_start, t_end, nbytes, kind in result.events:
             self.traffic.record(
                 self.now + t_start, self.now + t_end, nbytes, kind

@@ -162,13 +162,29 @@ def build_orion_program(
             dt_row = doc_topic[key[0], :].copy()
             wt_row = word_topic[key[1], :].copy()
             totals = topic_sum[:].copy()
+            # probs[k] is elementwise in k and each draw perturbs only two
+            # topics, so after the first full evaluation the vector is
+            # maintained sparsely: recompute just the touched entries with
+            # the identical scalar expression (bitwise-equal to a full
+            # recompute).
+            probs = None
             for position in range(len(tokens)):
                 old = int(tokens[position])
                 dt_row[old] -= 1.0
                 wt_row[old] -= 1.0
                 totals[old] -= 1.0
-                probs = (dt_row + alpha) * (wt_row + beta) / (totals + vbeta)
-                probs = np.maximum(probs, 0.0)
+                if probs is None:
+                    probs = np.maximum(
+                        (dt_row + alpha) * (wt_row + beta) / (totals + vbeta),
+                        0.0,
+                    )
+                else:
+                    p = (
+                        (dt_row[old] + alpha)
+                        * (wt_row[old] + beta)
+                        / (totals[old] + vbeta)
+                    )
+                    probs[old] = p if p > 0.0 else 0.0
                 scale = probs.sum()
                 if scale <= 0.0:
                     new = old
@@ -180,6 +196,12 @@ def build_orion_program(
                 dt_row[new] += 1.0
                 wt_row[new] += 1.0
                 totals[new] += 1.0
+                p = (
+                    (dt_row[new] + alpha)
+                    * (wt_row[new] + beta)
+                    / (totals[new] + vbeta)
+                )
+                probs[new] = p if p > 0.0 else 0.0
                 if new != old:
                     topic_buf[old] = -1.0
                     topic_buf[new] = 1.0
@@ -198,16 +220,32 @@ def build_orion_program(
             buf_vals: list = []
             for doc, word in keys:
                 tokens = assignments.get((doc, word))
-                dt_row = dtd[doc, :].copy()
-                wt_row = wtd[word, :].copy()
+                # Both rows are written back whole in the scalar path, so
+                # the kernel mutates the dense rows in place (no copy, no
+                # write-back) — blocks own their doc and word ranges.
+                dt_row = dtd[doc]
+                wt_row = wtd[word]
                 totals = tsd.copy()
+                probs = None
                 for position in range(len(tokens)):
                     old = int(tokens[position])
                     dt_row[old] -= 1.0
                     wt_row[old] -= 1.0
                     totals[old] -= 1.0
-                    probs = (dt_row + alpha) * (wt_row + beta) / (totals + vbeta)
-                    probs = np.maximum(probs, 0.0)
+                    if probs is None:
+                        probs = np.maximum(
+                            (dt_row + alpha)
+                            * (wt_row + beta)
+                            / (totals + vbeta),
+                            0.0,
+                        )
+                    else:
+                        p = (
+                            (dt_row[old] + alpha)
+                            * (wt_row[old] + beta)
+                            / (totals[old] + vbeta)
+                        )
+                        probs[old] = p if p > 0.0 else 0.0
                     scale = probs.sum()
                     if scale <= 0.0:
                         new = old
@@ -221,14 +259,18 @@ def build_orion_program(
                     dt_row[new] += 1.0
                     wt_row[new] += 1.0
                     totals[new] += 1.0
+                    p = (
+                        (dt_row[new] + alpha)
+                        * (wt_row[new] + beta)
+                        / (totals[new] + vbeta)
+                    )
+                    probs[new] = p if p > 0.0 else 0.0
                     if new != old:
                         buf_keys.append(old)
                         buf_vals.append(-1.0)
                         buf_keys.append(new)
                         buf_vals.append(1.0)
                     tokens[position] = new
-                dtd[doc, :] = dt_row
-                wtd[word, :] = wt_row
             kctx.buffer_add(topic_buf, buf_keys, buf_vals)
             docs = [key[0] for key in keys]
             words = [key[1] for key in keys]
@@ -251,13 +293,25 @@ def build_orion_program(
             dt_row = doc_topic[key[0], :].copy()
             wt_row = word_topic[key[1], :].copy()
             totals = topic_sum[:].copy()
+            # Sparse probability maintenance — see the 2D body.
+            probs = None
             for position in range(len(tokens)):
                 old = int(tokens[position])
                 dt_row[old] -= 1.0
                 wt_row[old] -= 1.0
                 totals[old] -= 1.0
-                probs = (dt_row + alpha) * (wt_row + beta) / (totals + vbeta)
-                probs = np.maximum(probs, 0.0)
+                if probs is None:
+                    probs = np.maximum(
+                        (dt_row + alpha) * (wt_row + beta) / (totals + vbeta),
+                        0.0,
+                    )
+                else:
+                    p = (
+                        (dt_row[old] + alpha)
+                        * (wt_row[old] + beta)
+                        / (totals[old] + vbeta)
+                    )
+                    probs[old] = p if p > 0.0 else 0.0
                 scale = probs.sum()
                 if scale <= 0.0:
                     new = old
@@ -269,6 +323,12 @@ def build_orion_program(
                 dt_row[new] += 1.0
                 wt_row[new] += 1.0
                 totals[new] += 1.0
+                p = (
+                    (dt_row[new] + alpha)
+                    * (wt_row[new] + beta)
+                    / (totals[new] + vbeta)
+                )
+                probs[new] = p if p > 0.0 else 0.0
                 if new != old:
                     topic_buf[old] = -1.0
                     topic_buf[new] = 1.0
@@ -290,16 +350,31 @@ def build_orion_program(
             word_vals: list = []
             for doc, word in keys:
                 tokens = assignments.get((doc, word))
-                dt_row = dtd[doc, :].copy()
+                # Doc rows are block-owned (1D over docs): mutate in place.
+                # Word rows update through word_buf, so the local copy stays.
+                dt_row = dtd[doc]
                 wt_row = wtd[word, :].copy()
                 totals = tsd.copy()
+                probs = None
                 for position in range(len(tokens)):
                     old = int(tokens[position])
                     dt_row[old] -= 1.0
                     wt_row[old] -= 1.0
                     totals[old] -= 1.0
-                    probs = (dt_row + alpha) * (wt_row + beta) / (totals + vbeta)
-                    probs = np.maximum(probs, 0.0)
+                    if probs is None:
+                        probs = np.maximum(
+                            (dt_row + alpha)
+                            * (wt_row + beta)
+                            / (totals + vbeta),
+                            0.0,
+                        )
+                    else:
+                        p = (
+                            (dt_row[old] + alpha)
+                            * (wt_row[old] + beta)
+                            / (totals[old] + vbeta)
+                        )
+                        probs[old] = p if p > 0.0 else 0.0
                     scale = probs.sum()
                     if scale <= 0.0:
                         new = old
@@ -313,6 +388,12 @@ def build_orion_program(
                     dt_row[new] += 1.0
                     wt_row[new] += 1.0
                     totals[new] += 1.0
+                    p = (
+                        (dt_row[new] + alpha)
+                        * (wt_row[new] + beta)
+                        / (totals[new] + vbeta)
+                    )
+                    probs[new] = p if p > 0.0 else 0.0
                     if new != old:
                         topic_keys.append(old)
                         topic_vals.append(-1.0)
@@ -323,7 +404,6 @@ def build_orion_program(
                         word_keys.append((word, new))
                         word_vals.append(1.0)
                     tokens[position] = new
-                dtd[doc, :] = dt_row
             kctx.buffer_add(topic_buf, topic_keys, topic_vals)
             kctx.buffer_add(word_buf, word_keys, word_vals)
             docs = [key[0] for key in keys]

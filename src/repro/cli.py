@@ -79,6 +79,7 @@ from repro.obs import (
     straggler_report,
     write_chrome_trace,
 )
+from repro.runtime.backend import BACKENDS
 from repro.runtime.checkpoint import CheckpointConfig
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.history import RunHistory
@@ -132,6 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write run histories (records+traffic+meta) as JSON",
     )
     parser.add_argument(
+        "--backend", default="simulated", choices=list(BACKENDS),
+        help="execution backend for the orion engines: 'simulated' "
+             "(virtual-clock oracle), 'threaded' (in-process thread pool), "
+             "'multiprocess' (forked workers over shared memory, real "
+             "wall-clock epochs)",
+    )
+    parser.add_argument(
         "--faults", metavar="SPEC", default=None,
         help="inject faults, e.g. 'seed=7,crashes=1,drops=0.02,"
              "stragglers=1,slowdown=3.0' (engines: orion, orion-ordered, "
@@ -160,15 +168,19 @@ def _fault_plan(args, cluster: ClusterSpec) -> Optional[FaultPlan]:
 
 
 def _fault_options(
-    engine: str, args, cluster: ClusterSpec
+    engine: str, args, cluster: ClusterSpec, backend: Optional[str] = None
 ) -> Optional[LoopOptions]:
     """LoopOptions carrying this engine's fault plan / checkpoint config.
 
     GBT runs several parallel loops per boosting round, which would race on
     one checkpoint directory — it gets fault injection but no on-disk
     checkpointing (crashes replay from the initial in-memory snapshot).
+
+    ``backend`` (orion engines only) selects the execution backend; the
+    baseline engines model their systems on the virtual clock and ignore
+    ``--backend``.
     """
-    if not (args.faults or args.ckpt_every):
+    if not (args.faults or args.ckpt_every or backend is not None):
         return None
     checkpoint = None
     if args.ckpt_every and args.app != "gbt":
@@ -176,7 +188,11 @@ def _fault_options(
             directory=os.path.join(args.ckpt_dir, engine),
             every_n_epochs=args.ckpt_every,
         )
-    return LoopOptions(faults=_fault_plan(args, cluster), checkpoint=checkpoint)
+    return LoopOptions(
+        faults=_fault_plan(args, cluster),
+        checkpoint=checkpoint,
+        backend=backend or "simulated",
+    )
 
 
 def _dataset_and_builders(args):
@@ -265,12 +281,13 @@ def _run_engine(
             app, args.epochs, seed=args.seed, cost=cluster.cost,
             tracer=tracer,
         )
+    backend = args.backend if args.backend != "simulated" else None
     if engine == "orion":
-        fault_opts = _fault_options(engine, args, cluster)
+        fault_opts = _fault_options(engine, args, cluster, backend=backend)
         extra = {"options": fault_opts} if fault_opts is not None else {}
         return builder(cluster, **obs_opts, **extra).run(args.epochs)
     if engine == "orion-ordered":
-        fault_opts = _fault_options(engine, args, cluster)
+        fault_opts = _fault_options(engine, args, cluster, backend=backend)
         extra = {"options": fault_opts} if fault_opts is not None else {}
         try:
             return builder(

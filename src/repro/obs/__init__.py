@@ -35,12 +35,13 @@ from repro.obs.metrics import (
 )
 from repro.obs.observability import Observability
 from repro.obs.report import straggler_report, utilization_lines
-from repro.obs.tracer import NULL_TRACER, Span, Tracer
+from repro.obs.tracer import NULL_TRACER, Span, Tracer, wall_process
 
 __all__ = [
     "Span",
     "Tracer",
     "NULL_TRACER",
+    "wall_process",
     "Observability",
     "Counter",
     "Gauge",

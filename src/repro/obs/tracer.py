@@ -35,7 +35,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
-__all__ = ["Span", "Tracer", "NULL_TRACER"]
+__all__ = ["Span", "Tracer", "NULL_TRACER", "wall_process"]
+
+
+def wall_process(process: str) -> str:
+    """Trace-process label for *real* wall-clock spans of one engine.
+
+    Spans recorded by a real execution backend (the multiprocess runtime)
+    measure ``time.perf_counter()`` seconds, not the virtual cost model,
+    so they must never share a process section with virtual spans —
+    otherwise utilization and horizon math would mix clock domains.  The
+    convention: real-time spans for engine ``"orion"`` live under process
+    ``"orion@wall"``, which reports and exporters treat as just another
+    process (its own section in :func:`~repro.obs.report.straggler_report`,
+    its own Perfetto process lane)."""
+    return f"{process}@wall"
 
 
 @dataclass(frozen=True)

@@ -2,171 +2,410 @@
 
 The simulated executor (:mod:`repro.runtime.executor`) charges virtual time
 while executing a linearization in-process.  This module runs the *same
-compiled plan* on real OS processes: each worker process owns its array
-partitions, executes its scheduled blocks, rotated partitions move between
-processes as actual IPC messages (the paper's Fig. 8 dataflow, physically),
-and the master doubles as the parameter server — shipping bulk-prefetched
-values for server-placed arrays with each block and applying buffered
-writes (through their UDFs) as flush messages arrive.
+compiled plan* on real OS processes as a performance backend:
 
-It exists to demonstrate that the plans the static analyzer produces are
-executable by a genuinely distributed runtime, not just a model:
+* **Shared-memory partitions.**  Every dense DistArray the loop touches is
+  rebacked onto a ``multiprocessing.shared_memory`` segment *before* the
+  workers fork (:class:`SharedArrayPool`), so a partition write made by one
+  process is immediately visible to every other — workers read and write
+  parameters in place instead of holding forked full-object copies and
+  shipping slices through the master.
+* **Worker-side kernels.**  When the plan admits the PR-1 batched kernel,
+  each worker runs ``kernel(block, kctx)`` against the shared arrays
+  through a data-movement-only broker
+  (:class:`~repro.runtime.kernels.PlainBroker`); otherwise the scalar
+  interpreter body runs per entry.  Either way the per-block computation
+  is exactly the simulated executor's, so dependence-preserving plans
+  produce *bitwise identical* final parameters.
+* **Direct worker→worker rotation.**  Because a rotated time-slice already
+  lives in shared memory, handing it to the next worker needs no payload
+  at all — only a happens-before edge.  Per-edge token queues carry bare
+  generation counters (seqlock-style): a worker publishes "I finished
+  step ``s``" and its neighbour consumes that token before touching the
+  slice.  With pipeline depth > 1 a worker always holds another locally
+  ready block, so the handoff overlaps its neighbour's compute — the
+  paper's rotation-latency hiding, physically.
+* **Free-running vs. stepped epochs.**  Plans with no write-back buffers
+  and no server-placed arrays (e.g. 2D SGD MF) *free-run*: the master
+  sends one message per epoch and the workers pipeline the entire pass
+  among themselves, synchronized only by rotation tokens.  Plans with
+  buffers or server arrays run *stepped*: the master barriers each
+  schedule step, workers compute against the shared step-start parameter
+  state, and buffered writes come back as flush messages applied through
+  their UDFs between steps (real data-parallel staleness: same-step
+  blocks genuinely do not see each other's updates).  Unimodular-
+  transformed plans run stepped — their written arrays are server-placed
+  and same-step blocks are dependence-free, so the sequential-outer
+  barriers reproduce the simulated linearization bitwise.
 
-* for dependence-preserving plans the final parameters are *bitwise
-  identical* to the simulated executor's linearization;
-* for buffered (data-parallel) plans the semantics are the real thing —
-  each block computes against the server values prefetched at dispatch
-  time, so same-step blocks genuinely do not see each other's updates.
+Epoch timings are real ``time.perf_counter()`` seconds (one monotonic
+clock domain shared by parent and forked children), reported as
+:class:`~repro.runtime.executor.EpochResult` objects with
+``clock="real"`` and traced — when the loop's tracer is enabled — as
+spans under the ``<trace_process>@wall`` process, so ``--report`` covers
+real runs next to the virtual-clock model.
 
-Design notes:
-
-* Workers are forked, so the loop body (with its closure over DistArrays,
-  buffers and accumulators) needs no pickling; each child holds copies of
-  the driver's objects and treats only its assigned partitions as
-  authoritative.
-* The master mediates rotation and parameter service, which keeps the
-  protocol deadlock-free at the cost of extra hops (this runtime is a
-  fidelity proof, not a performance vehicle).
-* Supported plans: 1D, 2D and data-parallel.  Unimodular plans place
-  written arrays on the server, so they are covered by the same machinery.
-* Accumulators are supported for zero-initial reduce-style accumulators
-  (each block's contribution is shipped and folded master-side).
-* Buffered writes synchronize once per block — the paper's once-per-
-  partition bound.  The finer ``max_delay`` sub-block bound is a refinement
-  the simulated executor models; honoring it here would need mid-block
-  round trips to the server.
+Remaining semantic bounds (shared with the previous fidelity-proof
+implementation): buffered writes synchronize once per block (the paper's
+once-per-partition bound — ``max_delay`` sub-block flushes would need
+mid-block server round trips), accumulators fold per epoch, and bodies
+drawing from a shared RNG (LDA's Gibbs sampler) diverge from the serial
+draw sequence because each forked worker advances its own copy.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Any, Dict, List, Tuple
+import time
+import traceback
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.strategy import PlacementKind
-from repro.api import ParallelLoop
+from repro.analysis.strategy import PlacementKind, Strategy
 from repro.core import access
 from repro.errors import ExecutionError
+from repro.runtime.executor import EpochResult
+from repro.runtime.kernels import KernelContext, PlainBroker
 
-__all__ = ["MultiprocessRunner"]
+if TYPE_CHECKING:  # import cycle: repro.api imports the backend registry
+    from repro.api import ParallelLoop
 
-
-def _axis_slice(ndim: int, axis: int, lo: int, hi: int) -> Tuple[slice, ...]:
-    """An indexing tuple selecting ``[lo:hi)`` along one axis."""
-    return tuple(
-        slice(lo, hi) if dim == axis else slice(None) for dim in range(ndim)
-    )
+__all__ = ["MultiprocessRunner", "SharedArrayPool"]
 
 
-def _canonical(index: Any) -> Tuple[Any, ...]:
-    if not isinstance(index, tuple):
-        index = (index,)
-    out = []
-    for item in index:
-        if isinstance(item, slice):
-            out.append(("__slice__", item.start, item.stop))
-        else:
-            out.append(int(item))
-    return tuple(out)
+# --------------------------------------------------------------------- #
+# Shared-memory array pool                                              #
+# --------------------------------------------------------------------- #
+
+class _Adopted:
+    """One dense array rebacked onto a shared segment."""
+
+    __slots__ = ("shm", "array", "original", "view")
+
+    def __init__(self, shm, array, original, view) -> None:
+        self.shm = shm
+        self.array = array
+        self.original = original
+        self.view = view
 
 
-def _runtime_index(key: Tuple[Any, ...]) -> Tuple[Any, ...]:
-    out = []
-    for item in key:
-        if isinstance(item, tuple) and item and item[0] == "__slice__":
-            out.append(slice(item[1], item[2]))
-        else:
-            out.append(item)
-    return tuple(out)
+class SharedArrayPool:
+    """Rebacks dense DistArrays onto ``multiprocessing.shared_memory``.
 
+    :meth:`adopt` swaps an array's dense storage for a NumPy view over a
+    freshly created shared segment (copying the current contents in).
+    Done *before* forking, the children inherit the mapping, so every
+    process reads and writes the same physical pages — in-place partition
+    access with zero serialization.  :meth:`release` copies the final
+    contents back into ordinary memory, restores the original backing and
+    unlinks the segments, so the arrays outlive the runner unchanged.
+    """
+
+    def __init__(self) -> None:
+        self._adopted: List[_Adopted] = []
+        self._ids: set = set()
+
+    def adopt(self, array: Any) -> None:
+        """Reback one dense materialized array (idempotent per array)."""
+        if id(array) in self._ids:
+            return
+        dense = getattr(array, "_dense", None)
+        if dense is None:
+            return
+        shm = shared_memory.SharedMemory(create=True, size=max(1, dense.nbytes))
+        view: np.ndarray = np.ndarray(dense.shape, dtype=dense.dtype,
+                                      buffer=shm.buf)
+        view[...] = dense
+        array._dense = view
+        self._adopted.append(_Adopted(shm, array, dense, view))
+        self._ids.add(id(array))
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes placed in shared segments."""
+        return sum(record.original.nbytes for record in self._adopted)
+
+    def release(self) -> None:
+        """Restore ordinary backing and unlink every segment (idempotent)."""
+        for record in self._adopted:
+            if record.array._dense is record.view:
+                # Nobody rebound the storage meanwhile: preserve the final
+                # shared contents past the segment's lifetime.
+                record.original[...] = record.view
+                record.array._dense = record.original
+            record.view = None
+            try:
+                record.shm.close()
+            except BufferError:  # a caller still holds the old view
+                pass
+            try:
+                record.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._adopted = []
+        self._ids = set()
+
+
+# --------------------------------------------------------------------- #
+# Worker process                                                        #
+# --------------------------------------------------------------------- #
 
 class _WorkerProcess:
-    """Code that runs inside one forked worker (no self-use in the parent)."""
+    """Code that runs inside one forked worker (no self-use in the parent).
 
-    def __init__(self, worker_id: int, loop: ParallelLoop, conn) -> None:
+    Message protocol (master → worker):
+
+    * ``("epoch",)`` — free-running mode: execute every one of this
+      worker's scheduled blocks for one pass, synchronizing with
+      neighbours purely through rotation tokens; reply ``("epoch_done",
+      payload)``.
+    * ``("step", s)`` — stepped mode: execute this worker's blocks of
+      schedule step ``s``; reply ``("step_done", flushes, flush_bytes)``
+      where ``flushes`` maps buffer name → pending updates.
+    * ``("finish_epoch",)`` — stepped mode epilogue; reply
+      ``("epoch_done", payload)``.
+    * ``("stop",)`` — reply ``("bye",)`` and exit.
+
+    Any exception is reported as ``("error", traceback_text)`` and the
+    worker exits.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        loop: "ParallelLoop",
+        conn: Any,
+        token_in: Any,
+        token_out: Any,
+        token_kind: Optional[str],
+        depth: int,
+    ) -> None:
         self.worker_id = worker_id
         self.loop = loop
+        self.executor = loop.executor
         self.conn = conn
-        self.arrays = loop.info.arrays  # the child's forked copies
+        self.token_in = token_in
+        self.token_out = token_out
+        self.token_kind = token_kind
+        self.depth = depth
+        executor = self.executor
+        self.use_kernel = (
+            executor.kernel is not None and executor._kernel_supported
+        )
+        self.broker = PlainBroker()
+        #: This worker's tasks over a whole epoch, in step order.
+        self.tasks = [
+            task
+            for step_tasks in executor.steps
+            for task in step_tasks
+            if task.worker == worker_id
+        ]
+        #: Per-block wall timings: (step, space, time, t_start, t_end, wait).
+        self.timings: List[Tuple[Any, ...]] = []
+        self.tokens_consumed = 0
+        self._epochs_run = 0
+
+    # ---------------- serve loop --------------------------------------- #
 
     def serve(self) -> None:
-        while True:
-            message = self.conn.recv()
-            kind = message[0]
-            if kind == "stop":
-                self.conn.send(("bye",))
-                return
-            if kind == "run_block":
-                self._run_block(*message[1:])
-            elif kind == "collect_local":
-                self._collect_local(*message[1:])
-            else:  # pragma: no cover - protocol error
-                self.conn.send(("error", f"unknown message {kind!r}"))
+        try:
+            while True:
+                message = self.conn.recv()
+                kind = message[0]
+                if kind == "stop":
+                    self.conn.send(("bye",))
+                    return
+                if kind == "epoch":
+                    self._run_epoch_free()
+                elif kind == "step":
+                    self._run_step(message[1])
+                elif kind == "finish_epoch":
+                    self.conn.send(("epoch_done", self._epoch_payload()))
+                else:  # pragma: no cover - protocol error
+                    self.conn.send(("error", f"unknown message {kind!r}"))
+                    return
+        except (EOFError, KeyboardInterrupt):  # pragma: no cover - shutdown
+            return
+        except BaseException:
+            try:
+                self.conn.send(("error", traceback.format_exc()))
+            except Exception:  # pragma: no cover - master already gone
+                pass
+            return
 
-    def _run_block(
-        self,
-        space_idx: int,
-        time_idx: int,
-        rotated_in: Dict[str, Tuple[Tuple[slice, ...], np.ndarray]],
-        rotated_out_spec: Dict[str, Tuple[slice, ...]],
-        server_in: Dict[str, List[Tuple[Tuple[Any, ...], Any]]],
-    ) -> None:
-        # Install incoming rotated partitions and prefetched server values
-        # into the local copies.
-        for name, (index, payload) in rotated_in.items():
-            self.arrays[name].values[index] = payload
-        for name, items in server_in.items():
-            array = self.arrays[name]
-            for key, payload in items:
-                array.direct_set(_runtime_index(key), payload)
-        block = self.loop.executor.partitions.block(space_idx, time_idx)
-        body = self.loop.body
-        with access.worker_scope(self.worker_id):
-            for key, value in block:
-                body(key, value)
+    # ---------------- block execution ---------------------------------- #
+
+    def _run_task(self, task: Any) -> None:
+        """Execute one block against the shared arrays — exactly the
+        simulated executor's per-block computation (kernel or scalar)."""
+        executor = self.executor
+        block_key = (task.space_idx, task.time_idx or 0)
+        block = executor.partitions.block(*block_key)
+        if self.use_kernel:
+            with access.worker_scope(self.worker_id), \
+                    access.install_broker(self.broker):
+                kctx = KernelContext(
+                    self.broker,
+                    self.worker_id,
+                    executor._kernel_caches.setdefault(block_key, {}),
+                )
+                executor.kernel(block, kctx)
+        else:
+            body = self.loop.body
+            with access.worker_scope(self.worker_id):
+                for key, value in block:
+                    body(key, value)
+
+    def _timed_task(self, task: Any, wait: float) -> None:
+        t_start = time.perf_counter()
+        self._run_task(task)
+        t_end = time.perf_counter()
+        self.timings.append(
+            (task.step, task.space_idx, task.time_idx, t_start, t_end, wait)
+        )
+
+    # ---------------- free-running epochs ------------------------------ #
+
+    def _run_epoch_free(self) -> None:
+        """One whole pass, paced only by rotation tokens.
+
+        Unordered 2D: at step ``s`` worker ``j`` executes time index
+        ``(j·d + s) mod T``, which worker ``j+1`` finished at step
+        ``s − d`` — so ``j`` consumes one token (value ``s − d``) from its
+        successor before each step ``s ≥ d`` and publishes its own step
+        number to its predecessor afterwards.  Steps ``0..d−1`` touch
+        slices nobody else holds, giving the induction base; depth > 1
+        keeps a locally ready block in hand while the neighbour works.
+
+        Ordered 2D (wavefront): worker ``j`` runs time ``t`` one step
+        after worker ``j−1`` did, so it consumes token ``t`` from its
+        predecessor; worker 0 never waits.
+
+        The ``epoch_done`` barrier orders epochs, so cross-epoch reuse of
+        a slice is always safe; the ``d`` tokens left unconsumed at an
+        epoch boundary are popped on entry to the next epoch (each queue
+        has a single producer and pipes are FIFO, so the stale tokens are
+        always at the front — a blind drain would race the new epoch's
+        producers).
+        """
+        kind = self.token_kind
+        depth = self.depth
+        if kind == "unordered" and self._epochs_run > 0:
+            num_time = self.executor.num_time
+            for offset in range(depth):
+                token = self.token_in.get()
+                self.tokens_consumed += 1
+                stale = num_time - depth + offset
+                if token != stale:
+                    raise ExecutionError(
+                        f"worker {self.worker_id}: stale rotation token "
+                        f"{token} != expected {stale}"
+                    )
+        for task in self.tasks:
+            wait = 0.0
+            expected: Optional[int] = None
+            if kind == "unordered" and task.step >= depth:
+                expected = task.step - depth
+            elif kind == "ordered" and self.token_in is not None:
+                expected = task.time_idx
+            if expected is not None:
+                t0 = time.perf_counter()
+                token = self.token_in.get()
+                wait = time.perf_counter() - t0
+                self.tokens_consumed += 1
+                if token != expected:
+                    raise ExecutionError(
+                        f"worker {self.worker_id}: rotation token "
+                        f"{token} != expected {expected} (step {task.step})"
+                    )
+            self._timed_task(task, wait)
+            if kind == "unordered":
+                self.token_out.put(task.step)
+            elif kind == "ordered" and self.token_out is not None:
+                self.token_out.put(task.time_idx)
+        self._epochs_run += 1
+        self.conn.send(("epoch_done", self._epoch_payload()))
+
+    # ---------------- stepped epochs ----------------------------------- #
+
+    def _run_step(self, step_index: int) -> None:
+        for task in self.executor.steps[step_index]:
+            if task.worker != self.worker_id:
+                continue
+            self._timed_task(task, 0.0)
         # Extract buffered writes (do NOT apply locally: the master's
-        # parameter server owns the targets and the UDF state).
+        # parameter server owns the apply UDFs and their ordering).
         flushes: Dict[str, Dict[Tuple[Any, ...], Any]] = {}
+        flush_bytes = 0.0
         for name, buffer in self.loop.info.buffers.items():
+            flush_bytes += buffer.pending_bytes(self.worker_id)
             pending = buffer._pending.pop(self.worker_id, None)
             if pending:
                 flushes[name] = pending
-        # Extract accumulator contributions.
+        self.conn.send(("step_done", flushes, flush_bytes))
+
+    # ---------------- epoch epilogue ----------------------------------- #
+
+    def _epoch_payload(self) -> Dict[str, Any]:
         accumulators: Dict[str, Any] = {}
         for name, acc in self.loop.info.accumulator_refs.items():
             if self.worker_id in acc._slots:
                 accumulators[name] = acc._slots.pop(self.worker_id)
-        # Ship the (now updated) rotated partitions back to the master.
-        outgoing = {
-            name: (index, self.arrays[name].values[index].copy())
-            for name, index in rotated_out_spec.items()
+        payload = {
+            "timings": self.timings,
+            "accumulators": accumulators,
+            "sparse": self._sparse_payload(),
+            "tokens": self.tokens_consumed,
         }
-        self.conn.send(
-            ("block_done", space_idx, time_idx, outgoing, flushes, accumulators)
-        )
+        self.timings = []
+        self.tokens_consumed = 0
+        return payload
 
-    def _collect_local(self, local_spec: Dict[str, Any]) -> None:
-        payload: Dict[str, Any] = {}
-        for name, spec in local_spec.items():
-            array = self.arrays[name]
-            if spec[0] == "dense":
-                index = spec[1]
-                payload[name] = ("dense", index, array.values[index].copy())
-            else:
-                _tag, dim, lo, hi = spec
-                entries = {
-                    key: value
-                    for key, value in array.entries()
-                    if lo <= key[dim] < hi
-                }
-                payload[name] = ("sparse", entries)
-        self.conn.send(("local_state", payload))
+    def _sparse_payload(self) -> Dict[str, Dict[Tuple[Any, ...], Any]]:
+        """Written sparse LOCAL partitions (dense arrays are shared, but a
+        sparse array's entries live in this process's forked dict)."""
+        out: Dict[str, Dict[Tuple[Any, ...], Any]] = {}
+        bounds = self.executor.partitions.space_bounds
+        if bounds is None or self.worker_id >= len(bounds):
+            return out
+        lo, hi = bounds[self.worker_id]
+        written = self.loop.info.written_arrays()
+        for name, placement in self.loop.plan.placements.items():
+            if placement.kind is not PlacementKind.LOCAL:
+                continue
+            if name.startswith("<target:") or name not in written:
+                continue
+            array = self.loop.info.arrays.get(name)
+            if array is None or not array.sparse:
+                continue
+            dim = placement.array_dim
+            out[name] = {
+                key: value
+                for key, value in array.entries()
+                if lo <= key[dim] < hi
+            }
+        return out
 
 
-def _worker_entry(worker_id: int, loop: ParallelLoop, conn) -> None:
-    _WorkerProcess(worker_id, loop, conn).serve()
+def _worker_entry(
+    worker_id: int,
+    loop: "ParallelLoop",
+    conn: Any,
+    token_in: Any,
+    token_out: Any,
+    token_kind: Optional[str],
+    depth: int,
+) -> None:
+    _WorkerProcess(
+        worker_id, loop, conn, token_in, token_out, token_kind, depth
+    ).serve()
 
+
+# --------------------------------------------------------------------- #
+# Master / runner                                                       #
+# --------------------------------------------------------------------- #
 
 class MultiprocessRunner:
     """Run a compiled :class:`~repro.api.ParallelLoop` on real processes.
@@ -177,70 +416,153 @@ class MultiprocessRunner:
         with MultiprocessRunner(loop) as runner:
             runner.run_epoch()
 
-    After each epoch the master's DistArrays hold the authoritative state
-    (local partitions collected back, server arrays maintained in the
-    master), so driver-side loss evaluation works exactly as with the
-    simulated executor.
+    Or select it declaratively — ``parallel_for(..., backend=
+    "multiprocess")`` makes ``loop.run()`` construct and drive one of
+    these under the hood.
+
+    While the runner is open, the loop's dense arrays live in shared
+    memory; the master sees worker updates immediately (driver-side loss
+    evaluation works between epochs exactly as with the simulated
+    executor) and :meth:`close` copies the final state back into ordinary
+    memory.  ``close`` escalates ``join(timeout)`` → ``terminate()`` →
+    ``kill()``, so a wedged or crashed worker cannot leak past it.
     """
 
-    def __init__(self, loop: ParallelLoop) -> None:
-        if loop.plan.transform is not None:
+    def __init__(
+        self, loop: "ParallelLoop", shutdown_timeout: float = 5.0
+    ) -> None:
+        if "fork" not in multiprocessing.get_all_start_methods():
             raise ExecutionError(
-                "the multiprocess runtime does not execute unimodular-"
-                "transformed plans (use the simulated executor)"
+                "the multiprocess backend requires the fork start method "
+                "(POSIX); use backend='threaded' here"
             )
         self.loop = loop
         self.executor = loop.executor
         self.partitions = self.executor.partitions
+        self.shutdown_timeout = shutdown_timeout
         self._context = multiprocessing.get_context("fork")
+        self.pool = SharedArrayPool()
         self._connections: List[Any] = []
         self._processes: List[Any] = []
-        #: Latest payload of each rotated array's time partition, keyed by
-        #: (array_name, time_idx).
-        self._rotated_state: Dict[Tuple[str, int], np.ndarray] = {}
+        self._token_queues: List[Any] = []
         self._started = False
+        self._wall0 = 0.0
+        self._epoch_counter = 0
+        for name, placement in loop.plan.placements.items():
+            if name.startswith("<target:"):
+                continue
+            array = loop.info.arrays.get(name)
+            if array is None or not array.sparse:
+                continue
+            if placement.kind in (PlacementKind.ROTATED, PlacementKind.SERVER):
+                raise ExecutionError(
+                    f"the multiprocess backend cannot place sparse array "
+                    f"{name!r} as {placement.kind.name}: rotation and "
+                    "parameter service operate on shared dense storage"
+                )
+        #: Free-running epochs need no master mediation at all; any buffer
+        #: or server-placed array makes the master a parameter server and
+        #: the epoch stepped.
+        self.free_running = (
+            not loop.info.buffers and not self.executor._server_arrays
+        )
+        #: Unimodular legality says every dependence is carried by the
+        #: *transformed* outer level, but the executor may lump several
+        #: transformed time values into one time partition — a dependence
+        #: of distance < partition width then connects two same-step
+        #: blocks.  The simulator is safe because it linearizes; here the
+        #: master falls back to dispatching those steps one task at a
+        #: time, in the simulator's task order (width-1 partitions keep
+        #: full intra-step parallelism).
+        self._sequential_steps = False
+        if loop.plan.transform is not None:
+            time_bounds = self.partitions.time_bounds
+            self._sequential_steps = time_bounds is None or any(
+                hi - lo > 1 for lo, hi in time_bounds
+            )
+        self._token_kind: Optional[str] = None
+        if (
+            self.free_running
+            and loop.plan.strategy is Strategy.TWO_D
+            and self.executor.num_workers > 1
+        ):
+            self._token_kind = (
+                "ordered" if self.executor.options.ordered else "unordered"
+            )
+        depth = 1
+        if self._token_kind == "unordered":
+            depth = self.executor.num_time // self.executor.num_workers
+        self._depth = depth
 
     # ---------------- lifecycle ---------------------------------------- #
 
     def _start(self) -> None:
         if self._started:
             return
-        for worker in range(self.executor.num_workers):
+        for array in self.loop.info.arrays.values():
+            self.pool.adopt(array)
+        for buffer in self.loop.info.buffers.values():
+            self.pool.adopt(buffer.target)
+        num_workers = self.executor.num_workers
+        if self._token_kind is not None:
+            self._token_queues = [
+                self._context.SimpleQueue() for _ in range(num_workers)
+            ]
+        for worker in range(num_workers):
+            token_in = token_out = None
+            if self._token_kind == "unordered":
+                token_in = self._token_queues[worker]
+                token_out = self._token_queues[(worker - 1) % num_workers]
+            elif self._token_kind == "ordered":
+                if worker > 0:
+                    token_in = self._token_queues[worker]
+                if worker + 1 < num_workers:
+                    token_out = self._token_queues[worker + 1]
             parent_conn, child_conn = self._context.Pipe()
             process = self._context.Process(
                 target=_worker_entry,
-                args=(worker, self.loop, child_conn),
+                args=(worker, self.loop, child_conn, token_in, token_out,
+                      self._token_kind, self._depth),
                 daemon=True,
             )
             process.start()
             child_conn.close()
             self._connections.append(parent_conn)
             self._processes.append(process)
-        # Seed the rotated-partition table from the master's arrays.
-        for name, placement in self.loop.plan.placements.items():
-            if placement.kind is not PlacementKind.ROTATED:
-                continue
-            for time_idx in range(self.executor.num_time):
-                index = self._rotated_index(name, time_idx)
-                array = self.loop.info.arrays[name]
-                self._rotated_state[(name, time_idx)] = (
-                    array.values[index].copy()
-                )
+        self._wall0 = time.perf_counter()
         self._started = True
 
     def close(self) -> None:
-        """Stop every worker process."""
+        """Stop every worker process; escalate if one is wedged."""
         for conn in self._connections:
             try:
                 conn.send(("stop",))
-                conn.recv()
-                conn.close()
-            except (OSError, EOFError):  # pragma: no cover - racy shutdown
+            except (OSError, BrokenPipeError, ValueError):
                 pass
+        for conn in self._connections:
+            try:
+                if conn.poll(0.5):
+                    conn.recv()
+            except (OSError, EOFError):
+                pass
+        deadline = time.monotonic() + self.shutdown_timeout
         for process in self._processes:
-            process.join(timeout=5)
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover - SIGTERM ignored
+                process.kill()
+                process.join(timeout=1.0)
+        for conn in self._connections:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - racy shutdown
+                pass
         self._connections = []
         self._processes = []
+        self._token_queues = []
+        self.pool.release()
         self._started = False
 
     def __enter__(self) -> "MultiprocessRunner":
@@ -250,40 +572,16 @@ class MultiprocessRunner:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # ---------------- partition indexing -------------------------------- #
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            if self._started:
+                self.close()
+        except Exception:
+            pass
 
-    def _rotated_index(self, name: str, time_idx: int) -> Tuple[slice, ...]:
-        placement = self.loop.plan.placements[name]
-        array = self.loop.info.arrays[name]
-        lo, hi = self.partitions.time_bounds[time_idx]
-        return _axis_slice(array.ndim, placement.array_dim, lo, hi)
+    # ---------------- messaging ----------------------------------------- #
 
-    def _local_spec(self, name: str, space_idx: int) -> Tuple[Any, ...]:
-        """Worker-side collection spec for one local partition.
-
-        Dense arrays collect a slice along the partitioned axis; sparse
-        arrays collect the entries whose coordinate falls in the range.
-        """
-        placement = self.loop.plan.placements[name]
-        array = self.loop.info.arrays[name]
-        lo, hi = self.partitions.space_bounds[space_idx]
-        if array.sparse:
-            return ("sparse", placement.array_dim, lo, hi)
-        return (
-            "dense",
-            _axis_slice(array.ndim, placement.array_dim, lo, hi),
-        )
-
-    def _names_with(self, kind: PlacementKind) -> List[str]:
-        return [
-            name
-            for name, placement in self.loop.plan.placements.items()
-            if placement.kind is kind and not name.startswith("<target:")
-        ]
-
-    # ---------------- messaging ------------------------------------------ #
-
-    def _send(self, worker: int, message) -> None:
+    def _send(self, worker: int, message: Any) -> None:
         try:
             self._connections[worker].send(message)
         except (OSError, BrokenPipeError) as exc:
@@ -292,60 +590,32 @@ class MultiprocessRunner:
                 "checkpoint and restart the runner"
             ) from exc
 
-    def _recv(self, worker: int):
+    def _recv(self, worker: int, expected: str) -> Any:
         try:
-            return self._connections[worker].recv()
+            reply = self._connections[worker].recv()
         except (EOFError, OSError) as exc:
             raise ExecutionError(
                 f"worker {worker} died (connection closed); restore from a "
                 "checkpoint and restart the runner"
             ) from exc
+        if reply[0] == "error":
+            raise ExecutionError(
+                f"worker {worker} failed:\n{reply[1]}"
+            )
+        if reply[0] != expected:  # pragma: no cover - protocol error
+            raise ExecutionError(f"worker protocol error: {reply[0]!r}")
+        return reply
 
     # ---------------- parameter service --------------------------------- #
-
-    def _server_payload(
-        self, space_idx: int, time_idx: int
-    ) -> Dict[str, List[Tuple[Tuple[Any, ...], Any]]]:
-        """Prefetched server-array values for one block.
-
-        With a synthesized prefetch function: exactly the indices the block
-        will read.  Without one (data-dependent subscripts beyond even
-        prefetch synthesis): the whole array, the conservative fallback.
-        """
-        server_names = self._names_with(PlacementKind.SERVER)
-        if not server_names:
-            return {}
-        arrays = self.loop.info.arrays
-        prefetch = self.executor.prefetch.prefetch_fn
-        payload: Dict[str, List[Tuple[Tuple[Any, ...], Any]]] = {}
-        if prefetch is None:
-            for name in server_names:
-                array = arrays[name]
-                whole = _axis_slice(array.ndim, 0, 0, array.shape[0])
-                payload[name] = [(_canonical(whole), array.values.copy())]
-            return payload
-        block = self.partitions.block(space_idx, time_idx)
-        seen = set()
-        for key, value in block:
-            for name, index in prefetch(key, value):
-                if name not in arrays:
-                    continue
-                signature = (name, _canonical(index))
-                if signature in seen:
-                    continue
-                seen.add(signature)
-                fetched = arrays[name].direct_get(index)
-                if isinstance(fetched, np.ndarray):
-                    fetched = fetched.copy()
-                payload.setdefault(name, []).append(
-                    (signature[1], fetched)
-                )
-        return payload
 
     def _apply_flushes(
         self, worker: int, flushes: Dict[str, Dict[Tuple[Any, ...], Any]]
     ) -> None:
-        """Parameter-server write path: apply buffered writes via UDFs."""
+        """Parameter-server write path: apply buffered writes via UDFs.
+
+        Targets are shared, so the write-through is immediately visible to
+        every worker — but only between steps, which is exactly the
+        step-start staleness the stepped protocol promises."""
         for name, pending in flushes.items():
             buffer = self.loop.info.buffers[name]
             slot = buffer._pending.setdefault(worker, {})
@@ -362,76 +632,136 @@ class MultiprocessRunner:
             with access.worker_scope(worker):
                 acc.add(value)
 
+    def _apply_sparse(
+        self, payload: Dict[str, Dict[Tuple[Any, ...], Any]]
+    ) -> None:
+        for name, entries in payload.items():
+            array = self.loop.info.arrays[name]
+            for key, value in entries.items():
+                array.direct_set(key, value)
+
     # ---------------- execution ----------------------------------------- #
 
     def run_epoch(self) -> int:
-        """Execute one full pass over the iteration space on the workers.
+        """Execute one full pass; returns the number of blocks executed."""
+        return self.run_epoch_result().num_tasks
 
-        Returns the number of blocks executed.  Tasks within a step are
-        dispatched to all workers before any reply is awaited, so blocks
-        the schedule claims concurrent genuinely execute concurrently —
-        and blocks reading server arrays see exactly the values prefetched
-        at dispatch time (real data-parallel staleness).
+    def run_epoch_result(self, epoch: Optional[int] = None) -> EpochResult:
+        """Execute one full pass and report real wall-clock timing.
+
+        Free-running plans get one command per worker per epoch; stepped
+        plans are barriered per schedule step with flushes applied in task
+        order between steps.  The returned
+        :class:`~repro.runtime.executor.EpochResult` carries measured
+        ``perf_counter`` seconds (``clock="real"``), worker utilization
+        over the real epoch, and the flush byte volume.
         """
         self._start()
-        rotated_names = self._names_with(PlacementKind.ROTATED)
-        blocks = 0
-        for step_tasks in self.executor.steps:
-            # Dispatch the whole step...
-            for task in step_tasks:
-                time_idx = task.time_idx or 0
-                rotated_in = {}
-                rotated_out = {}
-                for name in rotated_names:
-                    index = self._rotated_index(name, time_idx)
-                    rotated_in[name] = (
-                        index,
-                        self._rotated_state[(name, time_idx)],
-                    )
-                    rotated_out[name] = index
-                server_in = self._server_payload(task.space_idx, time_idx)
-                self._send(
-                    task.worker,
-                    ("run_block", task.space_idx, time_idx, rotated_in,
-                     rotated_out, server_in),
-                )
-            # ...then gather every reply, updating rotation/server state.
-            for task in step_tasks:
-                reply = self._recv(task.worker)
-                if reply[0] != "block_done":  # pragma: no cover
-                    raise ExecutionError(f"worker protocol error: {reply!r}")
-                _kind, _space, time_idx, outgoing, flushes, accs = reply
-                for name, (_index, payload) in outgoing.items():
-                    self._rotated_state[(name, time_idx)] = payload
-                self._apply_flushes(task.worker, flushes)
-                self._fold_accumulators(task.worker, accs)
-                blocks += 1
-        self._collect()
-        return blocks
+        self._epoch_counter += 1
+        if epoch is None:
+            epoch = self._epoch_counter
+        num_workers = self.executor.num_workers
+        flush_bytes = 0.0
+        t0 = time.perf_counter()
+        if self.free_running:
+            for worker in range(num_workers):
+                self._send(worker, ("epoch",))
+        else:
+            for step_index, step_tasks in enumerate(self.executor.steps):
+                if self._sequential_steps:
+                    # Intra-step dependences possible (see __init__):
+                    # linearize the step exactly as the simulator does.
+                    for task in step_tasks:
+                        self._send(task.worker, ("step", step_index))
+                        _kind, flushes, nbytes = self._recv(
+                            task.worker, "step_done"
+                        )
+                        self._apply_flushes(task.worker, flushes)
+                        flush_bytes += nbytes
+                    continue
+                for worker in range(num_workers):
+                    self._send(worker, ("step", step_index))
+                replies = [
+                    self._recv(worker, "step_done")
+                    for worker in range(num_workers)
+                ]
+                # Apply flushes in task order — the same order the
+                # simulated linearization applies them.
+                for task in step_tasks:
+                    _kind, flushes, nbytes = replies[task.worker]
+                    self._apply_flushes(task.worker, flushes)
+                    flush_bytes += nbytes
+            for worker in range(num_workers):
+                self._send(worker, ("finish_epoch",))
+        payloads = [
+            self._recv(worker, "epoch_done")[1]
+            for worker in range(num_workers)
+        ]
+        t_end = time.perf_counter()
+        for worker, payload in enumerate(payloads):
+            self._fold_accumulators(worker, payload["accumulators"])
+            self._apply_sparse(payload["sparse"])
+        epoch_s = t_end - t0
+        busy = sum(
+            span[4] - span[3]
+            for payload in payloads
+            for span in payload["timings"]
+        )
+        num_tasks = sum(len(payload["timings"]) for payload in payloads)
+        self._record_obs(epoch, t0, t_end, payloads, flush_bytes)
+        return EpochResult(
+            epoch_time_s=epoch_s,
+            bytes_sent=flush_bytes,
+            num_tasks=num_tasks,
+            utilization=min(busy / (num_workers * epoch_s), 1.0)
+            if epoch_s > 0 else 0.0,
+            kernel_path=self.executor.kernel_path,
+            clock="real",
+        )
 
-    def _collect(self) -> None:
-        """Pull authoritative state back into the master's DistArrays."""
-        # Local partitions live on their owning workers.
-        local_names = self._names_with(PlacementKind.LOCAL)
-        for worker in range(self.executor.num_workers):
-            spec = {
-                name: self._local_spec(name, worker) for name in local_names
-            }
-            self._send(worker, ("collect_local", spec))
-        for worker in range(self.executor.num_workers):
-            reply = self._recv(worker)
-            if reply[0] != "local_state":  # pragma: no cover
-                raise ExecutionError(f"worker protocol error: {reply!r}")
-            for name, payload in reply[1].items():
-                array = self.loop.info.arrays[name]
-                if payload[0] == "dense":
-                    _tag, index, values = payload
-                    array.values[index] = values
-                else:
-                    for key, value in payload[1].items():
-                        array.direct_set(key, value)
-        # Rotated partitions live in the master's rotation table; server
-        # arrays are already authoritative in the master.
-        for (name, time_idx), payload in self._rotated_state.items():
-            index = self._rotated_index(name, time_idx)
-            self.loop.info.arrays[name].values[index] = payload
+    # ---------------- observability -------------------------------------- #
+
+    def _record_obs(
+        self,
+        epoch: int,
+        t0: float,
+        t_end: float,
+        payloads: List[Dict[str, Any]],
+        flush_bytes: float,
+    ) -> None:
+        """Real-time spans on the ``@wall`` clock domain + counters."""
+        metrics = self.executor.metrics
+        if metrics.enabled:
+            metrics.counter("real_epochs_total").inc()
+            if flush_bytes:
+                metrics.counter("real_flush_bytes_total").inc(flush_bytes)
+            tokens = sum(payload["tokens"] for payload in payloads)
+            if tokens:
+                metrics.counter("rotation_tokens_total").inc(tokens)
+        tracer = self.executor.tracer
+        if not tracer.enabled:
+            return
+        from repro.obs.tracer import wall_process
+
+        process = wall_process(self.executor.trace_process)
+        base = self._wall0
+        tracer.add_span(
+            name=f"epoch {epoch}",
+            cat="epoch",
+            t_start=t0 - base,
+            t_end=t_end - base,
+            track="epochs",
+            process=process,
+            args={"epoch": epoch},
+        )
+        for worker, payload in enumerate(payloads):
+            for step, space_idx, time_idx, ts, te, wait in payload["timings"]:
+                tracer.add_span(
+                    name=f"block[{space_idx},{time_idx or 0}]",
+                    cat="block",
+                    t_start=ts - base,
+                    t_end=te - base,
+                    track=f"worker{worker}",
+                    process=process,
+                    args={"step": step, "token_wait_s": wait},
+                )

@@ -174,6 +174,11 @@ class EpochResult:
     #: ``epoch_time_s`` covers start → detection (+ detection timeout);
     #: the driver loop restores a checkpoint and replays.
     fault: Optional[Dict[str, Any]] = None
+    #: Which timeline ``epoch_time_s`` lives on: ``"virtual"`` for the
+    #: simulated cost model, ``"real"`` for measured wall-clock seconds
+    #: (the multiprocess backend).  Real results accumulate on
+    #: ``OrionContext.real_now``, never on the virtual clock.
+    clock: str = "virtual"
 
 
 class OrionExecutor:
@@ -270,6 +275,8 @@ class OrionExecutor:
             raise ExecutionError(
                 f"unknown concurrency mode {opts.concurrency!r}"
             )
+        if opts.backend not in ("simulated", "threaded", "multiprocess"):
+            raise ExecutionError(f"unknown backend {opts.backend!r}")
         self.options = opts
         self.concurrency = opts.concurrency
         self.body = body

@@ -48,6 +48,13 @@ class LoopOptions:
         prefetch: ``"auto"`` or ``"none"``.
         cache_prefetch: cache prefetch indices across epochs.
         concurrency: ``"serial"`` or ``"threads"``.
+        backend: which runtime executes the compiled plan.
+            ``"simulated"`` (default) is the deterministic virtual-clock
+            linearization; ``"threaded"`` runs each schedule step's blocks
+            on the executor thread pool; ``"multiprocess"`` runs the plan
+            on forked OS processes over shared-memory partitions
+            (:class:`~repro.runtime.distributed.MultiprocessRunner`) and
+            reports *real* wall-clock epoch times.
         kernel: optional batched block kernel.
         equivalence_check: run the first kernel-eligible block through
             both paths and fail on any difference.
@@ -74,6 +81,7 @@ class LoopOptions:
     prefetch: str = "auto"
     cache_prefetch: bool = True
     concurrency: str = "serial"
+    backend: str = "simulated"
     kernel: Optional[Callable[..., Any]] = None
     equivalence_check: bool = False
     tracer: Optional[Any] = None

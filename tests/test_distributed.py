@@ -150,28 +150,40 @@ class TestParameterServerPlans:
         assert program.loss_fn() < initial
         assert program.ctx.get_aggregated_value("train_loss") > 0.0
 
-    def test_unimodular_plan_rejected(self, cluster):
+    def test_unimodular_plan_executes_bitwise(self, cluster):
+        """Unimodular plans run stepped: written arrays are server-placed
+        dense (in-place shared-memory writes).  Time partitions can lump
+        several transformed time values, so the master linearizes such
+        steps task-by-task — reproducing the simulated linearization
+        bitwise."""
         from repro.analysis.loop_info import analyze_loop_body
         from repro.analysis.strategy import choose_plan
+        from repro.api import ParallelLoop
         from repro.core.distarray import DistArray
         from repro.runtime.executor import OrionExecutor
 
-        entries = [((i, j), 1.0) for i in range(6) for j in range(6)]
-        space = DistArray.from_entries(
-            entries, name="mp_uni", shape=(6, 6)
-        ).materialize()
-        grid = DistArray.zeros(6, 6, name="mp_grid").materialize()
+        def build():
+            entries = [((i, j), 1.0) for i in range(6) for j in range(6)]
+            space = DistArray.from_entries(
+                entries, name="mp_uni", shape=(6, 6)
+            ).materialize()
+            grid = DistArray.randn(6, 6, name="mp_grid", seed=9).materialize()
 
-        def body(key, value):
-            left = grid[key[0], key[1] - 1]
-            diag = grid[key[0] - 1, key[1] - 1]
-            grid[key[0], key[1]] = 0.5 * (left + diag)
+            def body(key, value):
+                left = grid[key[0], key[1] - 1]
+                diag = grid[key[0] - 1, key[1] - 1]
+                grid[key[0], key[1]] = 0.5 * (left + diag)
 
-        info = analyze_loop_body(body, space, ordered=True)
-        plan = choose_plan(info)
-        executor = OrionExecutor(body, info, plan, cluster)
-        from repro.api import ParallelLoop
+            info = analyze_loop_body(body, space, ordered=True)
+            plan = choose_plan(info)
+            executor = OrionExecutor(body, info, plan, cluster)
+            return grid, ParallelLoop(None, body, info, plan, executor)
 
-        loop = ParallelLoop(None, body, info, plan, executor)
-        with pytest.raises(ExecutionError, match="unimodular"):
-            MultiprocessRunner(loop)
+        grid_sim, loop_sim = build()
+        grid_mp, loop_mp = build()
+        assert loop_sim.plan.transform is not None
+        loop_sim.run(2)
+        with MultiprocessRunner(loop_mp) as runner:
+            for _ in range(2):
+                runner.run_epoch()
+        assert np.array_equal(grid_sim.values, grid_mp.values)
