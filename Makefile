@@ -2,13 +2,16 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check compile test trace-smoke fault-smoke distributed-smoke \
-	bench-smoke bench-distributed clean
+	lint-smoke sanitize-smoke bench-smoke bench-distributed clean
 
 ## Default verification: imports compile, tier-1 tests pass, the tracing
 ## pipeline produces a loadable Perfetto trace end to end, the
-## fault-injection/recovery story holds its invariants, and the forked
-## multiprocess backend stays bitwise-faithful to the simulated oracle.
-check: compile test trace-smoke fault-smoke distributed-smoke
+## fault-injection/recovery story holds its invariants, the forked
+## multiprocess backend stays bitwise-faithful to the simulated oracle,
+## every bundled app lints clean, and sanitize mode passes a mini-run of
+## each parallelization strategy on both backends.
+check: compile test trace-smoke fault-smoke distributed-smoke lint-smoke \
+	sanitize-smoke
 
 compile:
 	$(PYTHON) -m compileall -q src
@@ -37,6 +40,41 @@ fault-smoke:
 distributed-smoke:
 	$(PYTHON) benchmarks/bench_distributed.py --smoke
 	@echo "distributed-smoke ok"
+
+## Style lint (ruff, skipped when not installed) plus `repro lint` on
+## every bundled app: no error-severity diagnostics allowed, and the
+## demo catalog must keep demonstrating its codes.
+lint-smoke:
+	@if command -v ruff > /dev/null 2>&1; then \
+		ruff check src tests examples benchmarks; \
+	else \
+		echo "ruff not installed; skipping style lint"; \
+	fi
+	@for app in mf mf-adarev lda lda-1d slr gbt; do \
+		$(PYTHON) -m repro.cli lint $$app --scale 0.25 > /dev/null \
+			|| exit 1; \
+		echo "lint $$app ok"; \
+	done
+	$(PYTHON) -m repro.cli lint demo > /dev/null
+	@echo "lint-smoke ok"
+
+## Shadow-access race detection over one mini-epoch of each strategy:
+## 2D unordered (mf), 2D ordered (mf --engine orion-ordered), 1D (lda-1d),
+## data parallelism (slr), multi-loop (gbt) — simulated backend — plus a
+## multiprocess spot check. Any S6xx violation fails the run.
+sanitize-smoke:
+	@for app in mf lda-1d slr gbt; do \
+		$(PYTHON) -m repro.cli $$app --sanitize --epochs 1 \
+			--scale 0.3 > /dev/null || exit 1; \
+		echo "sanitize $$app (simulated) ok"; \
+	done
+	$(PYTHON) -m repro.cli mf --sanitize --engine orion-ordered \
+		--epochs 1 --scale 0.3 > /dev/null
+	@echo "sanitize mf (ordered) ok"
+	$(PYTHON) -m repro.cli mf --sanitize --backend multiprocess \
+		--epochs 1 --scale 0.3 > /dev/null
+	@echo "sanitize mf (multiprocess) ok"
+	@echo "sanitize-smoke ok"
 
 ## Wall-clock kernel-vs-scalar throughput; writes BENCH_wallclock.json.
 bench-smoke:

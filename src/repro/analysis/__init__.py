@@ -9,8 +9,16 @@ Submodules:
 * :mod:`repro.analysis.strategy` — 1D/2D/unimodular strategy selection.
 * :mod:`repro.analysis.unimodular` — unimodular transformation search.
 * :mod:`repro.analysis.prefetch` — bulk-prefetch function synthesis.
+* :mod:`repro.analysis.lint` — structured diagnostics + static lint pass.
 """
 
+from repro.analysis.lint import (
+    CODES,
+    Diagnostic,
+    LintReport,
+    SourceLocation,
+    run_lint,
+)
 from repro.analysis.depvec import (
     ANY,
     NEG,
@@ -34,6 +42,11 @@ __all__ = [
     "ANY",
     "NEG",
     "POS",
+    "CODES",
+    "Diagnostic",
+    "LintReport",
+    "SourceLocation",
+    "run_lint",
     "ArrayRef",
     "DepVector",
     "compute_dependence_vectors",

@@ -14,19 +14,100 @@ import ast
 import builtins
 import inspect
 import textwrap
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.analysis import subscript as sub
+from repro.analysis.lint import Diagnostic, SourceLocation
 from repro.errors import AnalysisError
 
 __all__ = [
     "get_function_def",
+    "get_function_source",
     "resolve_free_variables",
     "IndexBinding",
     "parse_axis",
     "constant_int",
 ]
+
+
+def _snippet(source: str, max_len: int = 60) -> str:
+    """The first source line, trimmed, for inclusion in diagnostics."""
+    line = source.strip().splitlines()[0] if source.strip() else ""
+    if len(line) > max_len:
+        line = line[: max_len - 3] + "..."
+    return line
+
+
+def get_function_source(
+    fn: Callable[..., Any],
+) -> Tuple[ast.FunctionDef, Optional[str]]:
+    """Return ``(FunctionDef, source_file)`` of a plain Python function.
+
+    Line numbers on the returned tree are absolute positions in the user's
+    file (not offsets into the dedented fragment), so diagnostics built
+    from any node print clickable ``file:line`` references.
+
+    Raises :class:`~repro.errors.AnalysisError` carrying an ``E101``/``E103``
+    :class:`~repro.analysis.lint.Diagnostic` when the source is not
+    recoverable (C functions, lambdas, sources from exec'd strings, ...).
+    """
+    try:
+        source_file = inspect.getsourcefile(fn)
+    except TypeError:
+        source_file = None
+    try:
+        lines, first_line = inspect.getsourcelines(fn)
+    except (OSError, TypeError) as exc:
+        raise AnalysisError(
+            f"cannot read source of loop body {fn!r}: {exc}",
+            diagnostic=Diagnostic(
+                code="E101",
+                message=f"cannot read source of loop body {fn!r}: {exc}",
+                hint="pass a plain def function defined in a real file",
+            ),
+        ) from exc
+    source = textwrap.dedent("".join(lines))
+    location = (
+        SourceLocation(file=source_file, line=first_line)
+        if source_file is not None
+        else None
+    )
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:  # decorated fragments, etc.
+        raise AnalysisError(
+            f"cannot parse loop body source: {exc}; "
+            f"offending source starts with {_snippet(source)!r}",
+            diagnostic=Diagnostic(
+                code="E101",
+                message=f"cannot parse loop body source: {exc}",
+                location=location,
+                hint="the body must be a standalone def statement",
+            ),
+        ) from exc
+    # Shift the fragment's line numbers so they index the user's file.
+    ast.increment_lineno(tree, first_line - 1)
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            return node, source_file
+    # Lambdas (and other non-def callables with recoverable source) get a
+    # specific code and the offending snippet instead of a generic error.
+    is_lambda = getattr(fn, "__name__", "") == "<lambda>"
+    kind = "a lambda" if is_lambda else "not a plain def function"
+    message = (
+        f"loop body must be a plain def function, got {kind}: "
+        f"{_snippet(source)!r}"
+    )
+    raise AnalysisError(
+        message,
+        diagnostic=Diagnostic(
+            code="E101",
+            message=message,
+            location=location,
+            hint="rewrite the loop body as `def body(key, value): ...`",
+        ),
+    )
 
 
 def get_function_def(fn: Callable[..., Any]) -> ast.FunctionDef:
@@ -35,21 +116,8 @@ def get_function_def(fn: Callable[..., Any]) -> ast.FunctionDef:
     Raises :class:`~repro.errors.AnalysisError` when the source is not
     recoverable (C functions, lambdas defined on exec'd strings, ...).
     """
-    try:
-        source = inspect.getsource(fn)
-    except (OSError, TypeError) as exc:
-        raise AnalysisError(
-            f"cannot read source of loop body {fn!r}: {exc}"
-        ) from exc
-    source = textwrap.dedent(source)
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:  # decorated fragments, etc.
-        raise AnalysisError(f"cannot parse loop body source: {exc}") from exc
-    for node in tree.body:
-        if isinstance(node, ast.FunctionDef):
-            return node
-    raise AnalysisError("loop body must be a plain def function")
+    tree, _ = get_function_source(fn)
+    return tree
 
 
 def resolve_free_variables(fn: Callable[..., Any]) -> Dict[str, Any]:
@@ -83,6 +151,10 @@ class IndexBinding:
 
     dim_idx: Optional[int]
     const: int = 0
+    #: Where the binding was introduced in the user's source, when known.
+    #: Excluded from equality/hashing: two bindings to the same index are
+    #: interchangeable for analysis regardless of where they were written.
+    location: Optional[SourceLocation] = field(default=None, compare=False)
 
     @property
     def is_whole_key(self) -> bool:

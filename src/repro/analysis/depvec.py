@@ -20,10 +20,11 @@ Sec. 4.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import DependenceError
+from repro.analysis.lint import SourceLocation
 from repro.analysis.subscript import Axis, axes_may_overlap, index_distance
 
 __all__ = [
@@ -243,12 +244,18 @@ class ArrayRef:
         is_write: whether this reference stores to the array.
         buffered: whether the write goes to a DistArray *Buffer* and is
             therefore exempt from dependence analysis (paper Sec. 3.3).
+        location: where the reference appears in the user's source, when
+            known.  Excluded from equality/hashing so duplicate references
+            on different lines still deduplicate for analysis.
     """
 
     array_name: str
     axes: Tuple[Axis, ...]
     is_write: bool
     buffered: bool = False
+    location: Optional["SourceLocation"] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def is_read(self) -> bool:
@@ -256,10 +263,16 @@ class ArrayRef:
         return not self.is_write
 
     def describe(self) -> str:
-        """Human-readable rendering, e.g. ``W[:, key[0]] (write)``."""
+        """Human-readable rendering, e.g. ``W[:, key[0]] (write)``.
+
+        Appends the ``file:line`` source location when one is attached.
+        """
         subs = ", ".join(axis.describe() for axis in self.axes)
         mode = "write" if self.is_write else "read"
-        return f"{self.array_name}[{subs}] ({mode})"
+        out = f"{self.array_name}[{subs}] ({mode})"
+        if self.location is not None:
+            out += f" at {self.location.describe()}"
+        return out
 
 
 def _pair_dependence(

@@ -97,4 +97,8 @@ def explain_plan(info: LoopInfo, plan: Plan) -> str:
         lines = ["(no referenced DistArrays)"]
     out += _section("DistArray placements (Sec. 4.4)", lines)
 
+    if info.diagnostics:
+        lines = [diag.describe() for diag in info.diagnostics]
+        out += _section("Diagnostics (lint)", lines)
+
     return "\n".join(out).rstrip() + "\n"

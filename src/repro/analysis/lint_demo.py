@@ -1,0 +1,150 @@
+"""Deliberately offending loop bodies for ``repro lint demo``.
+
+Each function below builds one minimal loop that trips a specific
+diagnostic code, so one CLI invocation demonstrates the whole catalog
+with real ``file:line`` locations pointing into this module.  The bodies
+are never executed — they exist purely to be linted.  ``docs/analysis.md``
+documents each code with these examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.lint import LintReport, run_lint
+from repro.core.distarray import DistArray
+
+__all__ = ["demo_reports"]
+
+
+def _space() -> DistArray:
+    """A tiny materialized 2-D iteration space shared by the demos."""
+    space = DistArray.from_entries(
+        [((i, j), 1.0) for i in range(4) for j in range(4)],
+        name="demo_space",
+        shape=(4, 4),
+    )
+    space.materialize()
+    return space
+
+
+def _line() -> DistArray:
+    """A tiny materialized 1-D iteration space."""
+    space = DistArray.from_entries(
+        [((i,), 1.0) for i in range(6)], name="demo_line", shape=(6,)
+    )
+    space.materialize()
+    return space
+
+
+def _demo_e101() -> Tuple[str, LintReport]:
+    """E101: a lambda has no analyzable ``def`` body."""
+    space = _space()
+    body = lambda key, value: None  # noqa: E731 - the offense on purpose
+    return "E101 lambda loop body", run_lint(body, space)
+
+
+def _demo_e102() -> Tuple[str, LintReport]:
+    """E102: subscript arity does not match the array's dimensionality."""
+    space = _space()
+    grid = DistArray.zeros(4, 4, name="demo_grid")
+    grid.materialize()
+
+    def body(key, value):
+        grid[key[0]] = value  # one position, two array dims
+
+    return "E102 subscript arity mismatch", run_lint(body, space)
+
+
+def _demo_e103() -> Tuple[str, LintReport]:
+    """E103: the loop body takes no parameters at all."""
+    space = _space()
+
+    def body():
+        pass
+
+    return "E103 invalid loop signature", run_lint(body, space)
+
+
+def _demo_e110() -> Tuple[str, LintReport]:
+    """E110: an ordered 1-D loop whose only dimension carries a
+    dependence — no dependence-preserving parallelization exists."""
+    space = _line()
+    chain = DistArray.zeros(6, name="demo_chain")
+    chain.materialize()
+
+    def body(key, value):
+        chain[key[0]] = chain[key[0] + 1] + value
+
+    return "E110 refused parallelization", run_lint(body, space, ordered=True)
+
+
+def _demo_w201() -> Tuple[str, LintReport]:
+    """W201: a data-dependent subscript forces conservative analysis."""
+    space = _line()
+    table = DistArray.zeros(100, name="demo_table")
+    table.materialize()
+
+    def body(key, value):
+        slot = int(value) % 100
+        table[slot] = table[slot] + 1.0
+
+    return "W201 data-dependent subscript", run_lint(body, space)
+
+
+def _demo_w202() -> Tuple[str, LintReport]:
+    """W202: two names bound to the same DistArray hide dependences."""
+    space = _line()
+    params = DistArray.zeros(8, name="demo_params")
+    params.materialize()
+    alias = params
+
+    def body(key, value):
+        alias[key[0]] = params[key[0]] + value
+
+    return "W202 aliased DistArray names", run_lint(body, space)
+
+
+def _demo_w301() -> Tuple[str, LintReport]:
+    """W301: augmenting an inherited driver variable mutates a private
+    per-worker copy that is never merged back."""
+    space = _line()
+    counts = DistArray.zeros(6, name="demo_counts")
+    counts.materialize()
+    total = 0.0
+
+    def body(key, value):
+        nonlocal total
+        counts[key[0]] = counts[key[0]] + value
+        total += value  # lost: each worker updates a private copy
+
+    return "W301 inherited mutation", run_lint(body, space)
+
+
+def _demo_w401() -> Tuple[str, LintReport]:
+    """W401: drawing from numpy's module-level RNG is unseeded per worker
+    and unreplayable."""
+    import numpy as np
+
+    space = _line()
+    noise = DistArray.zeros(6, name="demo_noise")
+    noise.materialize()
+
+    def body(key, value):
+        noise[key[0]] = value + np.random.uniform()
+
+    return "W401 unseeded randomness", run_lint(body, space)
+
+
+def demo_reports() -> List[Tuple[str, LintReport]]:
+    """Run every demo lint and return ``(title, report)`` pairs."""
+    return [
+        _demo_e101(),
+        _demo_e102(),
+        _demo_e103(),
+        _demo_e110(),
+        _demo_w201(),
+        _demo_w202(),
+        _demo_w301(),
+        _demo_w401(),
+    ]

@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.analysis import ast_utils
 from repro.analysis.depvec import ArrayRef
+from repro.analysis.lint import Diagnostic, SourceLocation, location_of
 from repro.analysis.subscript import Axis, SubscriptKind, index
 from repro.core.accumulator import Accumulator
 from repro.core.buffers import DistArrayBuffer
@@ -56,6 +57,11 @@ class LoopInfo:
     tree: Optional[ast.FunctionDef] = None
     #: Loop-index aliases discovered in the body (for prefetch synthesis).
     index_bindings: Dict[str, ast_utils.IndexBinding] = field(default_factory=dict)
+    #: The file the body was defined in, for diagnostic locations.
+    source_file: Optional[str] = None
+    #: Lint warnings collected during analysis (W-codes; hard failures
+    #: raise instead, carrying their E-code diagnostic on the exception).
+    diagnostics: List[Diagnostic] = field(default_factory=list)
 
     def arrays_with_unknown_subscripts(self) -> Set[str]:
         """Array names read or written through a data-dependent subscript."""
@@ -121,22 +127,41 @@ class _BodyVisitor(ast.NodeVisitor):
         env: Dict[str, Any],
         index_param: str,
         value_param: Optional[str],
+        source_file: Optional[str] = None,
     ) -> None:
         self.env = env
         self.index_param = index_param
         self.value_param = value_param
+        self.source_file = source_file
         self.bindings: Dict[str, ast_utils.IndexBinding] = {
             index_param: ast_utils.IndexBinding(dim_idx=None)
         }
         self._assign_counts: Dict[str, int] = {}
-        self.array_refs: List[Tuple[str, Tuple[ast.expr, ...], bool]] = []
-        self.buffer_writes: List[Tuple[str, Tuple[ast.expr, ...]]] = []
+        self.array_refs: List[
+            Tuple[str, Tuple[ast.expr, ...], bool, ast.Subscript]
+        ] = []
+        self.buffer_writes: List[
+            Tuple[str, Tuple[ast.expr, ...], ast.Subscript]
+        ] = []
         self.accumulators: Set[str] = set()
         self.loaded_names: Set[str] = set()
         self.local_names: Set[str] = set()
+        self.diagnostics: List[Diagnostic] = []
         if value_param:
             self.local_names.add(value_param)
         self.local_names.add(index_param)
+
+    def _warn(
+        self, code: str, message: str, node: ast.AST, hint: Optional[str] = None
+    ) -> None:
+        diag = Diagnostic(
+            code=code,
+            message=message,
+            location=location_of(node, self.source_file),
+            hint=hint,
+        )
+        if diag not in self.diagnostics:
+            self.diagnostics.append(diag)
 
     # -- bindings ------------------------------------------------------- #
 
@@ -165,7 +190,11 @@ class _BodyVisitor(ast.NodeVisitor):
             for position, element in enumerate(node.targets[0].elts):
                 if isinstance(element, ast.Name):
                     self._record_binding(
-                        element.id, ast_utils.IndexBinding(dim_idx=position)
+                        element.id,
+                        ast_utils.IndexBinding(
+                            dim_idx=position,
+                            location=location_of(element, self.source_file),
+                        ),
                     )
                     self.local_names.add(element.id)
             self.generic_visit(node.value)
@@ -178,7 +207,11 @@ class _BodyVisitor(ast.NodeVisitor):
                 if indexed is not None:
                     self._record_binding(
                         target.id,
-                        ast_utils.IndexBinding(dim_idx=indexed[0], const=indexed[1]),
+                        ast_utils.IndexBinding(
+                            dim_idx=indexed[0],
+                            const=indexed[1],
+                            location=location_of(target, self.source_file),
+                        ),
                     )
                 else:
                     self._invalidate(target.id)
@@ -191,8 +224,25 @@ class _BodyVisitor(ast.NodeVisitor):
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         if isinstance(node.target, ast.Name):
-            self.local_names.add(node.target.id)
-            self._invalidate(node.target.id)
+            name = node.target.id
+            # Augmenting a name that is not (yet) a body local but resolves
+            # in the inherited environment mutates driver state the runtime
+            # never ships back — per-iteration effects are silently lost.
+            if (
+                name not in self.local_names
+                and name in self.env
+                and self._is_inherited_data(self.env[name])
+            ):
+                self._warn(
+                    "W301",
+                    f"augmented assignment to inherited variable {name!r}; "
+                    "workers mutate a private copy that is never merged",
+                    node,
+                    hint="use an Accumulator or a DistArray for cross-"
+                    "iteration state",
+                )
+            self.local_names.add(name)
+            self._invalidate(name)
         # An augmented subscript write reads and writes the element; the
         # Store-context Subscript is recorded by visit_Subscript, and we add
         # the implied read here.
@@ -214,16 +264,42 @@ class _BodyVisitor(ast.NodeVisitor):
             return tuple(node.slice.elts)
         return (node.slice,)
 
+    @staticmethod
+    def _is_inherited_data(value: Any) -> bool:
+        """Whether an env value counts as inherited driver *data* (the same
+        filter ``analyze_loop_body`` applies when building ``inherited``)."""
+        if isinstance(value, (DistArray, DistArrayBuffer, Accumulator)):
+            return False
+        if inspect.ismodule(value):
+            return False
+        if callable(value) and getattr(value, "__module__", "").startswith(
+            ("numpy", "math", "builtins")
+        ):
+            return False
+        return True
+
     def _handle_subscript(self, node: ast.Subscript, is_write: bool) -> None:
         if not isinstance(node.value, ast.Name):
             return
         name = node.value.id
+        if name in self.local_names:
+            return  # body-local containers are private per iteration
         bound = self.env.get(name)
         elements = self._subscript_elements(node)
         if isinstance(bound, DistArray):
-            self.array_refs.append((name, elements, is_write))
+            self.array_refs.append((name, elements, is_write, node))
         elif isinstance(bound, DistArrayBuffer) and is_write:
-            self.buffer_writes.append((name, elements))
+            self.buffer_writes.append((name, elements, node))
+        elif is_write and name in self.env and self._is_inherited_data(bound):
+            # Storing into an inherited plain container (list/dict/ndarray):
+            # each worker mutates its own broadcast copy.
+            self._warn(
+                "W301",
+                f"subscript store into inherited variable {name!r}; workers "
+                "mutate a private copy that is never merged",
+                node,
+                hint="use a DistArray (or DistArrayBuffer) for shared state",
+            )
 
     def visit_Subscript(self, node: ast.Subscript) -> None:
         self._handle_subscript(node, is_write=isinstance(node.ctx, ast.Store))
@@ -238,7 +314,52 @@ class _BodyVisitor(ast.NodeVisitor):
             and isinstance(self.env.get(node.func.value.id), Accumulator)
         ):
             self.accumulators.add(node.func.value.id)
+        self._check_global_randomness(node)
         self.generic_visit(node)
+
+    def _check_global_randomness(self, node: ast.Call) -> None:
+        """W401: a draw through module-level RNG state (``random.random()``
+        or ``np.random.uniform()``) is neither seeded per worker nor
+        replayable — results differ run to run and across schedules.
+        Calls on an explicit Generator object (``rng.integers(...)``) are
+        fine and do not fire."""
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        base = func.value
+        # `random.<fn>(...)` with `random` resolving to the stdlib module.
+        if isinstance(base, ast.Name) and base.id not in self.local_names:
+            value = self.env.get(base.id)
+            if inspect.ismodule(value) and getattr(value, "__name__", "") in (
+                "random",
+                "numpy.random",
+            ):
+                self._warn(
+                    "W401",
+                    f"call to {base.id}.{func.attr}() draws from module-level "
+                    "RNG state shared across workers",
+                    node,
+                    hint="create a seeded np.random.default_rng(...) in the "
+                    "driver and call methods on it",
+                )
+            return
+        # `np.random.<fn>(...)` attribute chains rooted at the numpy module.
+        if (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id not in self.local_names
+        ):
+            value = self.env.get(base.value.id)
+            if inspect.ismodule(value) and getattr(value, "__name__", "") == "numpy":
+                self._warn(
+                    "W401",
+                    f"call to {base.value.id}.random.{func.attr}() draws from "
+                    "numpy's global RNG state shared across workers",
+                    node,
+                    hint="create a seeded np.random.default_rng(...) in the "
+                    "driver and call methods on it",
+                )
 
     def visit_Name(self, node: ast.Name) -> None:
         if isinstance(node.ctx, ast.Load):
@@ -252,23 +373,35 @@ def _axes_for_ref(
     elements: Tuple[ast.expr, ...],
     bindings: Dict[str, ast_utils.IndexBinding],
     num_iter_dims: int,
+    location: Optional[SourceLocation] = None,
 ) -> Tuple[Axis, ...]:
     """Turn subscript AST elements into per-array-dimension axes."""
+    at = f" at {location.describe()}" if location is not None else ""
     # Whole-key subscript, e.g. `zs[key]`: one index axis per iteration dim.
     if len(elements) == 1 and isinstance(elements[0], ast.Name):
         binding = bindings.get(elements[0].id)
         if binding is not None and binding.is_whole_key:
             if array.ndim != num_iter_dims:
-                raise AnalysisError(
+                message = (
                     f"{name}[<key>] used but array has {array.ndim} dims while "
                     f"the iteration space has {num_iter_dims}"
+                )
+                raise AnalysisError(
+                    message + at,
+                    diagnostic=Diagnostic(
+                        code="E102", message=message, location=location
+                    ),
                 )
             return tuple(index(d, 0) for d in range(num_iter_dims))
     axes = tuple(ast_utils.parse_axis(element, bindings) for element in elements)
     if len(axes) != array.ndim:
-        raise AnalysisError(
+        message = (
             f"{name} subscript has {len(axes)} positions but the array has "
             f"{array.ndim} dimensions"
+        )
+        raise AnalysisError(
+            message + at,
+            diagnostic=Diagnostic(code="E102", message=message, location=location),
         )
     return axes
 
@@ -289,19 +422,30 @@ def analyze_loop_body(
             order (the paper's ``ordered`` argument; default relaxed).
     """
     if not iteration_space.is_materialized:
-        raise AnalysisError(
+        message = (
             "the iteration-space DistArray must be materialized before a "
             "parallel for-loop over it is compiled (JIT-style, paper Sec. 4.1)"
         )
-    tree = ast_utils.get_function_def(body)
+        raise AnalysisError(
+            message, diagnostic=Diagnostic(code="E103", message=message)
+        )
+    tree, source_file = ast_utils.get_function_source(body)
     params = [arg.arg for arg in tree.args.args]
     if not params:
-        raise AnalysisError("loop body must take (key, value) or (key,)")
+        message = "loop body must take (key, value) or (key,)"
+        raise AnalysisError(
+            message,
+            diagnostic=Diagnostic(
+                code="E103",
+                message=message,
+                location=location_of(tree, source_file),
+            ),
+        )
     index_param = params[0]
     value_param = params[1] if len(params) > 1 else None
     env = ast_utils.resolve_free_variables(body)
 
-    visitor = _BodyVisitor(env, index_param, value_param)
+    visitor = _BodyVisitor(env, index_param, value_param, source_file)
     visitor.visit(tree)
 
     num_iter_dims = iteration_space.ndim
@@ -313,34 +457,92 @@ def analyze_loop_body(
         ordered=ordered,
         tree=tree,
         index_bindings=dict(visitor.bindings),
+        source_file=source_file,
     )
+    info.diagnostics.extend(visitor.diagnostics)
     info.accumulators = set(visitor.accumulators)
     info.accumulator_refs = {
         name: env[name] for name in visitor.accumulators if name in env
     }
 
-    for name, elements, is_write in visitor.array_refs:
+    for name, elements, is_write, node in visitor.array_refs:
         array = env[name]
-        axes = _axes_for_ref(array, name, elements, visitor.bindings, num_iter_dims)
+        location = location_of(node, source_file)
+        axes = _axes_for_ref(
+            array, name, elements, visitor.bindings, num_iter_dims, location
+        )
         info.arrays[name] = array
         info.refs.setdefault(name, []).append(
-            ArrayRef(array_name=name, axes=axes, is_write=is_write)
+            ArrayRef(
+                array_name=name, axes=axes, is_write=is_write, location=location
+            )
         )
-    for name, elements in visitor.buffer_writes:
+    for name, elements, node in visitor.buffer_writes:
         buffer = env[name]
+        location = location_of(node, source_file)
         info.buffers[name] = buffer
         target_ndim = buffer.target.ndim
         axes = tuple(
             ast_utils.parse_axis(element, visitor.bindings) for element in elements
         )
         if len(axes) != target_ndim:
-            raise AnalysisError(
+            message = (
                 f"buffer {name} subscript arity {len(axes)} does not match "
                 f"target array dimensionality {target_ndim}"
             )
+            at = f" at {location.describe()}" if location is not None else ""
+            raise AnalysisError(
+                message + at,
+                diagnostic=Diagnostic(
+                    code="E102", message=message, location=location
+                ),
+            )
         info.buffer_refs.setdefault(name, []).append(
-            ArrayRef(array_name=name, axes=axes, is_write=True, buffered=True)
+            ArrayRef(
+                array_name=name,
+                axes=axes,
+                is_write=True,
+                buffered=True,
+                location=location,
+            )
         )
+
+    # W201: data-dependent subscripts force the paper's conservative
+    # any-value treatment; worth surfacing even though the loop still
+    # parallelizes (often as DATA_PARALLEL or via server placement).
+    for name, refs in info.refs.items():
+        for ref in refs:
+            if any(a.kind is SubscriptKind.UNKNOWN for a in ref.axes):
+                diag = Diagnostic(
+                    code="W201",
+                    message=f"data-dependent subscript on {name!r}: analysis "
+                    "assumes the access may touch any element",
+                    location=ref.location,
+                    hint="index with the loop key (key[d] ± const) when "
+                    "possible to enable tighter dependence vectors",
+                )
+                if diag not in info.diagnostics:
+                    info.diagnostics.append(diag)
+
+    # W202: two body names bound to the same DistArray object are analyzed
+    # as independent arrays, hiding any dependence between their accesses.
+    by_identity: Dict[int, List[str]] = {}
+    for name, array in info.arrays.items():
+        by_identity.setdefault(id(array), []).append(name)
+    for names in by_identity.values():
+        if len(names) > 1:
+            alias_list = ", ".join(sorted(names))
+            info.diagnostics.append(
+                Diagnostic(
+                    code="W202",
+                    message=f"names {alias_list} are bound to the same "
+                    "DistArray; dependence analysis treats them as distinct "
+                    "arrays and may miss conflicts between them",
+                    location=location_of(tree, source_file),
+                    hint="reference the array through a single name inside "
+                    "the loop body",
+                )
+            )
 
     # Inherited driver variables: loaded free names that resolve in the
     # environment and are not arrays/buffers/accumulators or locals.

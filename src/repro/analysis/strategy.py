@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.analysis import unimodular
 from repro.analysis.depvec import DepVector, compute_dependence_vectors
+from repro.analysis.lint import Diagnostic, location_of
 from repro.analysis.loop_info import LoopInfo
 from repro.errors import ParallelizationError
 
@@ -315,12 +316,24 @@ def choose_plan(
         # are independent — use level 1 as the space dimension.
         return finish(Strategy.TWO_D_UNIMODULAR, 1, 0, transform)
 
-    raise ParallelizationError(
+    message = (
         "no dependence-preserving parallelization exists for this loop; "
         "dependence vectors: "
         + ", ".join(sorted(v.describe() for v in all_dvecs))
-        + ". Consider routing writes through a DistArrayBuffer (data "
-        "parallelism) or restructuring the iteration space."
+    )
+    hint = (
+        "route writes through a DistArrayBuffer (data parallelism) or "
+        "restructure the iteration space"
+    )
+    raise ParallelizationError(
+        message + ". Consider routing writes through a DistArrayBuffer "
+        "(data parallelism) or restructuring the iteration space.",
+        diagnostic=Diagnostic(
+            code="E110",
+            message=message,
+            location=location_of(info.tree, info.source_file),
+            hint=hint,
+        ),
     )
 
 

@@ -37,6 +37,7 @@ import operator
 from dataclasses import replace
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
+from repro.analysis.lint import Diagnostic
 from repro.analysis.loop_info import LoopInfo, analyze_loop_body
 from repro.analysis.strategy import Plan, choose_plan
 from repro.core.accumulator import Accumulator, AccumulatorRegistry
@@ -193,6 +194,16 @@ class ParallelLoop:
         from repro.analysis.explain import explain_plan
 
         return explain_plan(self.info, self.plan)
+
+    def diagnostics(self) -> List["Diagnostic"]:
+        """The analyzer's lint findings for this loop's body.
+
+        A compiled loop has no E-code errors by construction (they raise
+        during ``parallel_for``); this returns the W-code warnings — see
+        the catalog in ``docs/analysis.md`` and the ``repro lint`` CLI
+        for linting a loop without compiling or running it.
+        """
+        return list(self.info.diagnostics)
 
     def __call__(self, epochs: int = 1) -> List[EpochResult]:
         return self.run(epochs)
@@ -354,6 +365,7 @@ class OrionContext:
         backend: Any = UNSET,
         kernel: Any = UNSET,
         equivalence_check: Any = UNSET,
+        sanitize: Any = UNSET,
         tracer: Any = UNSET,
         metrics: Any = UNSET,
         trace_process: Any = UNSET,
@@ -403,6 +415,13 @@ class OrionContext:
                 both paths and fail loudly on any state or accounting
                 difference (tests; the block runs twice, so the body must
                 be RNG-free and apply UDFs must not hold external state).
+            sanitize: run the shadow-access race detector
+                (:mod:`repro.sanitizer`): record every actual DistArray
+                element access per iteration, cross-check the reported
+                dependence vectors / buffered-write exemptions / prefetch
+                footprint at each epoch boundary, and fail with the
+                offending iteration pair on any violation.  Forces scalar
+                execution; works on every backend.
             tracer: per-loop tracer override (defaults to the context's).
             metrics: per-loop metrics override (defaults to the context's).
             trace_process: Perfetto process label for this loop's spans.
@@ -424,6 +443,7 @@ class OrionContext:
             backend=backend,
             kernel=kernel,
             equivalence_check=equivalence_check,
+            sanitize=sanitize,
             tracer=tracer,
             metrics=metrics,
             obs=obs,

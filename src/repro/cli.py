@@ -140,6 +140,13 @@ def build_parser() -> argparse.ArgumentParser:
              "wall-clock epochs)",
     )
     parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run the shadow-access race detector during the orion "
+             "engines' loops: record every actual DistArray element "
+             "access and fail the epoch if the analyzer's dependence "
+             "claims are contradicted (see docs/analysis.md)",
+    )
+    parser.add_argument(
         "--faults", metavar="SPEC", default=None,
         help="inject faults, e.g. 'seed=7,crashes=1,drops=0.02,"
              "stragglers=1,slowdown=3.0' (engines: orion, orion-ordered, "
@@ -180,7 +187,10 @@ def _fault_options(
     baseline engines model their systems on the virtual clock and ignore
     ``--backend``.
     """
-    if not (args.faults or args.ckpt_every or backend is not None):
+    if not (
+        args.faults or args.ckpt_every or backend is not None
+        or args.sanitize
+    ):
         return None
     checkpoint = None
     if args.ckpt_every and args.app != "gbt":
@@ -192,6 +202,7 @@ def _fault_options(
         faults=_fault_plan(args, cluster),
         checkpoint=checkpoint,
         backend=backend or "simulated",
+        sanitize=args.sanitize,
     )
 
 
@@ -357,9 +368,82 @@ def _print_history(history: RunHistory, out) -> None:
         )
 
 
+def _lint_main(argv: List[str], out) -> int:
+    """``repro lint``: analyze a loop body without running it.
+
+    Builds the requested app's training loop, re-runs the static
+    analysis through :func:`repro.analysis.lint.run_lint`, and prints a
+    structured diagnostic report with source locations — no epochs are
+    executed.  ``repro lint demo`` lints a catalog of deliberately
+    offending loop bodies (:mod:`repro.analysis.lint_demo`) instead, one
+    per diagnostic code.  Exit code 1 when any error-severity diagnostic
+    fires, else 0 (warnings are informational).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Statically analyze a parallel loop without running "
+                    "it; see docs/analysis.md for the diagnostic catalog.",
+    )
+    parser.add_argument(
+        "app",
+        choices=["mf", "mf-adarev", "lda", "lda-1d", "slr", "gbt", "demo"],
+        help="application whose training loop to lint, or 'demo' for "
+             "the diagnostic-code showcase",
+    )
+    parser.add_argument("--machines", type=int, default=4)
+    parser.add_argument("--workers-per-machine", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset size multiplier (analysis is size-independent; "
+             "smaller is faster to build)",
+    )
+    parser.add_argument(
+        "--ordered", action="store_true",
+        help="lint the ordered (serializability-preserving) loop variant",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.analysis.lint import run_lint
+
+    if args.app == "demo":
+        from repro.analysis.lint_demo import demo_reports
+
+        codes = set()
+        for title, report in demo_reports():
+            out.write(f"== {title} ==\n{report.describe()}\n\n")
+            codes.update(report.codes())
+        out.write(f"demonstrated codes: {', '.join(sorted(codes))}\n")
+        return 0
+
+    dataset, cost, builder, app = _dataset_and_builders(args)
+    cluster_kwargs = {"cost": cost} if cost is not None else {}
+    cluster = ClusterSpec(
+        num_machines=args.machines,
+        workers_per_machine=args.workers_per_machine,
+        **cluster_kwargs,
+    )
+    try:
+        extra = {"ordered": True} if args.ordered else {}
+        program = builder(cluster, **extra)
+    except TypeError:
+        out.write(f"app {args.app!r} has no ordered loop variant\n")
+        return 2
+    loop = program.train_loop
+    report = run_lint(
+        loop.body, loop.info.iteration_space, ordered=loop.info.ordered
+    )
+    out.write(f"== lint: {args.app} ==\n{report.describe()}\n")
+    return 1 if report.errors else 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["lint"]:
+        return _lint_main(list(argv[1:]), out)
     args = build_parser().parse_args(argv)
     dataset, cost, builder, app = _dataset_and_builders(args)
     cluster_kwargs = {}

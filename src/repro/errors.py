@@ -6,9 +6,21 @@ catch everything from this package with a single ``except`` clause.
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 
 class ReproError(Exception):
-    """Base class for every exception raised by this package."""
+    """Base class for every exception raised by this package.
+
+    Analyzer-facing subclasses may carry a structured
+    :class:`repro.analysis.lint.Diagnostic` alongside the human-readable
+    message; ``repro lint`` and ``ParallelLoop.diagnostics()`` surface it
+    with its stable code and source location instead of the bare string.
+    """
+
+    def __init__(self, *args: Any, diagnostic: Optional[Any] = None) -> None:
+        super().__init__(*args)
+        self.diagnostic = diagnostic
 
 
 class MaterializationError(ReproError):

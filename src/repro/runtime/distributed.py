@@ -195,6 +195,11 @@ class _WorkerProcess:
             executor.kernel is not None and executor._kernel_supported
         )
         self.broker = PlainBroker()
+        #: Sanitize mode: the (pre-fork) executor forced kernels off, so
+        #: every block takes the scalar path under a recording broker;
+        #: records ship to the master in the epoch payload.
+        self.sanitize = executor.sanitize
+        self._sanitize_records: List[Tuple[Any, str, Tuple[Any, ...], str]] = []
         #: This worker's tasks over a whole epoch, in step order.
         self.tasks = [
             task
@@ -252,6 +257,17 @@ class _WorkerProcess:
                     executor._kernel_caches.setdefault(block_key, {}),
                 )
                 executor.kernel(block, kctx)
+        elif self.sanitize:
+            from repro.sanitizer import RecordingBroker
+
+            body = self.loop.body
+            recorder = RecordingBroker()
+            with access.worker_scope(self.worker_id), \
+                    access.install_broker(recorder):
+                for key, value in block:
+                    recorder.iteration = key
+                    body(key, value)
+            self._sanitize_records.extend(recorder.records)
         else:
             body = self.loop.body
             with access.worker_scope(self.worker_id):
@@ -358,9 +374,11 @@ class _WorkerProcess:
             "accumulators": accumulators,
             "sparse": self._sparse_payload(),
             "tokens": self.tokens_consumed,
+            "sanitize": self._sanitize_records,
         }
         self.timings = []
         self.tokens_consumed = 0
+        self._sanitize_records = []
         return payload
 
     def _sparse_payload(self) -> Dict[str, Dict[Tuple[Any, ...], Any]]:
@@ -701,6 +719,15 @@ class MultiprocessRunner:
         for worker, payload in enumerate(payloads):
             self._fold_accumulators(worker, payload["accumulators"])
             self._apply_sparse(payload["sparse"])
+        if self.executor.sanitize:
+            # Workers shipped their shadow-access records; the master runs
+            # the same epoch-boundary cross-check the simulated backend
+            # does (raises SanitizerError on any violation).
+            for payload in payloads:
+                self.executor._sanitize_records.extend(
+                    tuple(record) for record in payload.get("sanitize", ())
+                )
+            self.executor._sanitize_check()
         epoch_s = t_end - t0
         busy = sum(
             span[4] - span[3]

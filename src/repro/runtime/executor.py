@@ -147,6 +147,39 @@ class _AccountingBroker(access.AccessBroker):
         buffer.direct_buffer_write_many(indices, values)
 
 
+class _SanitizingBroker(_AccountingBroker):
+    """Accounting broker that additionally logs each element access with
+    the iteration key that performed it, feeding the sanitizer's
+    epoch-boundary cross-check (:mod:`repro.sanitizer`).
+
+    ``_run_scalar`` sets :attr:`iteration` before every body call; sanitize
+    mode forces scalar execution, so the bulk hooks never fire on this
+    broker."""
+
+    def __init__(self, server_ids: Set[int], validate: bool) -> None:
+        super().__init__(server_ids, validate)
+        self.records: List[Tuple[Any, str, Tuple[Any, ...], str]] = []
+        self.iteration: Any = None
+
+    def read(self, array: DistArray, index: Any) -> Any:
+        self.records.append(
+            (self.iteration, array.name, _normalize_index(index), "r")
+        )
+        return super().read(array, index)
+
+    def write(self, array: DistArray, index: Any, value: Any) -> None:
+        self.records.append(
+            (self.iteration, array.name, _normalize_index(index), "w")
+        )
+        super().write(array, index, value)
+
+    def buffer_write(self, buffer: Any, index: Any, value: Any) -> None:
+        self.records.append(
+            (self.iteration, buffer.target.name, _normalize_index(index), "b")
+        )
+        super().buffer_write(buffer, index, value)
+
+
 # --------------------------------------------------------------------- #
 # Executor                                                               #
 # --------------------------------------------------------------------- #
@@ -290,6 +323,12 @@ class OrionExecutor:
         self.cache_prefetch = opts.cache_prefetch
         self.kernel = opts.kernel
         self.equivalence_check = opts.equivalence_check
+        self.sanitize = opts.sanitize
+        #: Shadow-access records accumulated during a sanitized epoch
+        #: (extended by tasks on this process and, for the multiprocess
+        #: backend, from worker payloads), drained by `_sanitize_check`.
+        self._sanitize_records: List[Tuple[Any, str, Tuple[Any, ...], str]] = []
+        self._sanitize_values: Optional[Dict[Any, Any]] = None
         resolved = opts.resolve_obs()
         self.obs = resolved
         self.tracer = resolved.tracer
@@ -407,6 +446,10 @@ class OrionExecutor:
         )
         self._server_ids = {id(array) for array in self._server_arrays.values()}
         self._kernel_supported = self._kernel_legal()
+        if self.sanitize:
+            # The sanitizer attributes accesses to iterations, which only
+            # the interpreted per-entry path can do.
+            self._kernel_supported = False
         self._ready = True
 
     def _kernel_legal(self) -> bool:
@@ -553,6 +596,8 @@ class OrionExecutor:
         if self.validate:
             self._check_serializability(validation)
             self.metrics.counter("serializability_validations_total").inc()
+        if self.sanitize:
+            self._sanitize_check()
 
         straggled = self._apply_stragglers(work_s, phases, epoch, t0, tracing)
         timing = self._timing(work_s)
@@ -871,7 +916,12 @@ class OrionExecutor:
         ):
             self._equivalence_checked = True
             return self._run_task_checked(task, block_key, block)
-        broker = _AccountingBroker(self._server_ids, self.validate)
+        if self.sanitize:
+            broker: _AccountingBroker = _SanitizingBroker(
+                self._server_ids, self.validate
+            )
+        else:
+            broker = _AccountingBroker(self._server_ids, self.validate)
         with access.worker_scope(task.worker), access.install_broker(broker):
             if use_kernel:
                 kctx = KernelContext(
@@ -882,6 +932,10 @@ class OrionExecutor:
                 self.kernel(block, kctx)
             else:
                 self._run_scalar(block, task.worker, broker)
+        if self.sanitize:
+            # list.extend is atomic under the GIL, so thread-pool tasks
+            # can merge their local records without a lock.
+            self._sanitize_records.extend(broker.records)
         stats = broker.stats
         stats.entries = len(block)
         # Flush remaining buffered writes at the block boundary: a worker
@@ -896,7 +950,10 @@ class OrionExecutor:
     ) -> None:
         body = self.body
         buffers = list(self.info.buffers.values())
+        sanitizing = self.sanitize
         for key, value in block:
+            if sanitizing:
+                broker.iteration = key
             body(key, value)
             for buffer in buffers:
                 if buffer.tick(worker):
@@ -1244,3 +1301,44 @@ class OrionExecutor:
                         f"{task_a.worker} and {task_b.worker} both touch "
                         f"{name}{idx} (write involved)"
                     )
+
+    # ---------------- sanitize mode (shadow-access check) --------------- #
+
+    def _sanitize_check(self) -> None:
+        """Cross-check the epoch's shadow-access records against the plan.
+
+        Drains :attr:`_sanitize_records`, runs :func:`repro.sanitizer.
+        check_epoch`, bumps the sanitize counters, and raises
+        :class:`~repro.sanitizer.SanitizerError` (fail-stop) on any
+        violation — a sanitized run that completes is a certificate that
+        the analyzer's claims held for every executed iteration.
+        """
+        from repro import sanitizer
+
+        records, self._sanitize_records = self._sanitize_records, []
+        server_names = frozenset(
+            array.name for array in self._server_arrays.values()
+        )
+        prefetch_fn = self.prefetch.prefetch_fn
+        values = None
+        if prefetch_fn is not None and server_names:
+            if self._sanitize_values is None:
+                self._sanitize_values = dict(
+                    self.info.iteration_space.entries()
+                )
+            values = self._sanitize_values
+        diagnostics = sanitizer.check_epoch(
+            self.info,
+            self.plan,
+            records,
+            server_names=server_names,
+            prefetch_fn=prefetch_fn,
+            values=values,
+        )
+        self.metrics.counter("sanitize_epochs_total").inc()
+        self.metrics.counter("sanitize_records_total").inc(len(records))
+        if diagnostics:
+            self.metrics.counter("sanitize_violations_total").inc(
+                len(diagnostics)
+            )
+            raise sanitizer.SanitizerError(diagnostics)

@@ -58,6 +58,12 @@ class LoopOptions:
         kernel: optional batched block kernel.
         equivalence_check: run the first kernel-eligible block through
             both paths and fail on any difference.
+        sanitize: run the shadow-access race detector
+            (:mod:`repro.sanitizer`): record every actual DistArray
+            element access per iteration and fail the epoch if the
+            analyzer's dependence claims, buffered-write exemptions or
+            prefetch footprint are contradicted.  Forces scalar
+            (non-kernel) execution.
         tracer / metrics: legacy observability pair (prefer ``obs``).
         obs: bundled :class:`~repro.obs.observability.Observability`.
         trace_process: Perfetto process label for this loop's spans.
@@ -84,6 +90,7 @@ class LoopOptions:
     backend: str = "simulated"
     kernel: Optional[Callable[..., Any]] = None
     equivalence_check: bool = False
+    sanitize: bool = False
     tracer: Optional[Any] = None
     metrics: Optional[Any] = None
     obs: Optional[Observability] = None
