@@ -2,16 +2,17 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check compile test trace-smoke fault-smoke distributed-smoke \
-	lint-smoke sanitize-smoke bench-smoke bench-distributed clean
+	lint-smoke sanitize-smoke synth-smoke bench-smoke bench-distributed clean
 
 ## Default verification: imports compile, tier-1 tests pass, the tracing
 ## pipeline produces a loadable Perfetto trace end to end, the
 ## fault-injection/recovery story holds its invariants, the forked
 ## multiprocess backend stays bitwise-faithful to the simulated oracle,
-## every bundled app lints clean, and sanitize mode passes a mini-run of
-## each parallelization strategy on both backends.
+## every bundled app lints clean, sanitize mode passes a mini-run of
+## each parallelization strategy on both backends, and kernel synthesis
+## emits equivalence-checked kernels for the batchable apps.
 check: compile test trace-smoke fault-smoke distributed-smoke lint-smoke \
-	sanitize-smoke
+	sanitize-smoke synth-smoke
 
 compile:
 	$(PYTHON) -m compileall -q src
@@ -75,6 +76,28 @@ sanitize-smoke:
 		--epochs 1 --scale 0.3 > /dev/null
 	@echo "sanitize mf (multiprocess) ok"
 	@echo "sanitize-smoke ok"
+
+## Kernel synthesis over every bundled app: the batchable bodies
+## (mf, mf-adarev, glove, slr, gbt's histogram loop) must emit a kernel and survive an
+## equivalence-checked epoch (bitwise state + accounting vs the scalar
+## interpreter); the rest must fall back cleanly (exit 1, W50x
+## diagnostic) rather than fail.
+synth-smoke:
+	@for app in mf mf-adarev glove slr gbt; do \
+		$(PYTHON) -m repro.cli synth $$app --scale 0.25 --check \
+			> /dev/null || exit 1; \
+		echo "synth $$app ok (equivalence-checked)"; \
+	done
+	@for app in lda lda-1d; do \
+		$(PYTHON) -m repro.cli synth $$app --scale 0.25 > /dev/null; \
+		code=$$?; \
+		if [ $$code -ne 1 ]; then \
+			echo "synth $$app: expected fallback exit 1, got $$code"; \
+			exit 1; \
+		fi; \
+		echo "synth $$app ok (clean fallback)"; \
+	done
+	@echo "synth-smoke ok"
 
 ## Wall-clock kernel-vs-scalar throughput; writes BENCH_wallclock.json.
 bench-smoke:

@@ -1,11 +1,16 @@
-"""Wall-clock throughput of the batched-kernel path vs the scalar body.
+"""Wall-clock throughput: scalar body vs hand kernels vs synthesized kernels.
 
 Unlike the other benchmarks (which report *virtual* time from the cost
 model), this one measures real host seconds: each app runs the same
-program twice in the same process — once with ``use_kernel=False`` (the
-per-entry interpreted body) and once with ``use_kernel=True`` (the
-batched block kernels) — and reports entries/second for both plus the
-speedup.  Results land in ``BENCH_wallclock.json`` at the repo root.
+program once per variant in the same process — ``use_kernel=False`` (the
+per-entry interpreted body), ``use_kernel="hand"`` (the app's hand-written
+block kernel, where one exists) and ``use_kernel="auto"`` (the kernel
+synthesized from the loop body by ``repro.analysis.synth``) — and reports
+entries/second for each plus speedups over scalar.  Results land in
+``BENCH_wallclock.json`` at the repo root.
+
+Apps whose bodies synthesis cannot batch (LDA's sparse sampling) report
+``"synth": null`` — they fall back to the scalar interpreter (W50x).
 
 Run:  make bench-smoke        (or: PYTHONPATH=src python benchmarks/bench_wallclock.py)
 """
@@ -17,6 +22,8 @@ import sys
 import time
 from pathlib import Path
 
+from repro.apps.embeddings import build_orion_program as build_glove
+from repro.apps.embeddings import cooccurrence_corpus
 from repro.apps.lda import LDAHyper
 from repro.apps.lda import build_orion_program as build_lda
 from repro.apps.sgd_mf import MFHyper
@@ -28,11 +35,17 @@ from repro.data.synthetic import lda_corpus, netflix_like, sparse_classification
 EPOCHS = 3
 
 
-def _measure(build, num_entries: int) -> dict:
-    """Time ``EPOCHS`` passes of both paths of one program, kernel last."""
+def _measure(build, num_entries: int, variants=None) -> dict:
+    """Time ``EPOCHS`` passes of each variant of one program, scalar first."""
+    variants = variants or (
+        ("scalar", False), ("hand", "hand"), ("synth", "auto")
+    )
     out = {}
-    for variant, use_kernel in (("scalar", False), ("kernel", True)):
+    for variant, use_kernel in variants:
         program = build(use_kernel=use_kernel)
+        if use_kernel == "auto" and not program.train_loop.synthesis().engaged:
+            out[variant] = None  # fell back: nothing distinct to measure
+            continue
         program.epoch_fn()  # warm-up pass: block materialization, caches
         start = time.perf_counter()
         for _ in range(EPOCHS):
@@ -42,9 +55,12 @@ def _measure(build, num_entries: int) -> dict:
             "wall_seconds": round(wall, 4),
             "entries_per_sec": round(EPOCHS * num_entries / wall, 1),
         }
-    out["speedup"] = round(
-        out["kernel"]["entries_per_sec"] / out["scalar"]["entries_per_sec"], 2
-    )
+    scalar_rate = out["scalar"]["entries_per_sec"]
+    for variant in ("hand", "synth"):
+        row = out.get(variant)
+        out[f"speedup_{variant}"] = (
+            round(row["entries_per_sec"] / scalar_rate, 2) if row else None
+        )
     return out
 
 
@@ -54,6 +70,7 @@ def run(out_path: Path) -> dict:
         num_samples=4000, num_features=2000, nnz_per_sample=12, seed=5
     )
     lda = lda_corpus(num_docs=150, vocab_size=200, num_topics=8, doc_length=30, seed=5)
+    glove = cooccurrence_corpus(vocab_size=300, num_tokens=40000, seed=5)
 
     results = {
         "epochs_timed": EPOCHS,
@@ -80,6 +97,14 @@ def run(out_path: Path) -> dict:
                 ),
                 len(lda.entries),
             ),
+            # GloVe ships no hand kernel: synthesis is its only fast path.
+            "glove": _measure(
+                lambda use_kernel: build_glove(
+                    glove, seed=7, use_kernel=use_kernel
+                ),
+                len(glove.entries),
+                variants=(("scalar", False), ("synth", "auto")),
+            ),
         },
     }
     out_path.write_text(json.dumps(results, indent=2) + "\n")
@@ -94,11 +119,16 @@ def main() -> int:
     print(f"wrote {out_path}")
     width = max(len(name) for name in results["apps"])
     for name, row in results["apps"].items():
-        print(
-            f"  {name:{width}s}  scalar {row['scalar']['entries_per_sec']:>11,.0f}/s"
-            f"  kernel {row['kernel']['entries_per_sec']:>11,.0f}/s"
-            f"  speedup {row['speedup']:.2f}x"
-        )
+        cells = [f"scalar {row['scalar']['entries_per_sec']:>11,.0f}/s"]
+        for variant in ("hand", "synth"):
+            if row.get(variant):
+                cells.append(
+                    f"{variant} {row[variant]['entries_per_sec']:>11,.0f}/s"
+                    f" ({row[f'speedup_{variant}']:.2f}x)"
+                )
+            else:
+                cells.append(f"{variant} {'—':>11s}")
+        print(f"  {name:{width}s}  " + "  ".join(cells))
     return 0
 
 

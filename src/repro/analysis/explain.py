@@ -9,10 +9,13 @@ layout of the paper's Fig. 6 walkthrough.  Exposed on the API as
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.analysis.loop_info import LoopInfo
 from repro.analysis.strategy import Plan, Strategy
+
+if TYPE_CHECKING:
+    from repro.analysis.synth import SynthResult
 
 __all__ = ["explain_plan"]
 
@@ -21,8 +24,14 @@ def _section(title: str, lines: List[str]) -> List[str]:
     return [title, "-" * len(title)] + lines + [""]
 
 
-def explain_plan(info: LoopInfo, plan: Plan) -> str:
-    """Render the static parallelization of one loop as a report."""
+def explain_plan(
+    info: LoopInfo, plan: Plan, synth: Optional["SynthResult"] = None
+) -> str:
+    """Render the static parallelization of one loop as a report.
+
+    ``synth`` (when kernel synthesis ran) appends a section with the
+    generated kernel source or the fallback explanation.
+    """
     out: List[str] = []
 
     lines = [
@@ -96,6 +105,10 @@ def explain_plan(info: LoopInfo, plan: Plan) -> str:
     if not lines:
         lines = ["(no referenced DistArrays)"]
     out += _section("DistArray placements (Sec. 4.4)", lines)
+
+    if synth is not None:
+        lines = synth.describe().splitlines()
+        out += _section("Kernel synthesis", lines)
 
     if info.diagnostics:
         lines = [diag.describe() for diag in info.diagnostics]

@@ -53,6 +53,9 @@ CODES = {
     "W202": "aliased DistArray references",
     "W301": "mutation of inherited variable",
     "W401": "unseeded global-state randomness",
+    "W501": "kernel synthesis fell back: unsupported construct",
+    "W502": "kernel synthesis fell back: state-dependent access pattern",
+    "W503": "kernel synthesis skipped: plan does not permit batching",
     "S601": "unreported loop-carried dependence",
     "S602": "kernel conflict group is not conflict-free",
     "S603": "buffered write aliases a directly-written element",

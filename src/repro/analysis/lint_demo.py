@@ -136,6 +136,62 @@ def _demo_w401() -> Tuple[str, LintReport]:
     return "W401 unseeded randomness", run_lint(body, space)
 
 
+def _synth_lint(body, space, ordered: bool = False) -> LintReport:
+    """Lint a body through the kernel-synthesis pipeline (W50x codes)."""
+    from repro.analysis.synth import synth_report
+
+    _result, diagnostics = synth_report(body, space, ordered=ordered)
+    return LintReport(diagnostics=diagnostics)
+
+
+def _demo_w501() -> Tuple[str, LintReport]:
+    """W501: a conditional expression short-circuits around an array read —
+    the synthesized kernel cannot reproduce the scalar access sequence."""
+    space = _line()
+    big = DistArray.zeros(6, name="demo_big")
+    out = DistArray.zeros(6, name="demo_out")
+    big.materialize()
+    out.materialize()
+
+    def body(key, value):
+        bonus = big[key[0]] if value > 0.5 else 0.0
+        out[key[0]] = value + bonus
+
+    return "W501 synthesis: unsupported construct", _synth_lint(body, space)
+
+
+def _demo_w502() -> Tuple[str, LintReport]:
+    """W502: an array is read through an index computed from another
+    array's contents — the access pattern depends on mutable state, so a
+    batched kernel's memoized accounting would go stale."""
+    space = _line()
+    noise = DistArray.zeros(6, name="demo_noise2")
+    table = DistArray.zeros(100, name="demo_table2")
+    out = DistArray.zeros(6, name="demo_out2")
+    for array in (noise, table, out):
+        array.materialize()
+
+    def body(key, value):
+        slot = int(noise[key[0]])
+        out[key[0]] = table[slot] * value
+
+    return "W502 synthesis: state-dependent access", _synth_lint(body, space)
+
+
+def _demo_w503() -> Tuple[str, LintReport]:
+    """W503: synthesis succeeds, but the chosen plan (1D with direct
+    shared writes, nothing buffered) never executes blocks as batchable
+    units — the kernel is emitted and then unused."""
+    space = _line()
+    out = DistArray.zeros(6, name="demo_out3")
+    out.materialize()
+
+    def body(key, value):
+        out[key[0]] = value * 2.0
+
+    return "W503 synthesis: plan refuses batching", _synth_lint(body, space)
+
+
 def demo_reports() -> List[Tuple[str, LintReport]]:
     """Run every demo lint and return ``(title, report)`` pairs."""
     return [
@@ -147,4 +203,7 @@ def demo_reports() -> List[Tuple[str, LintReport]]:
         _demo_w202(),
         _demo_w301(),
         _demo_w401(),
+        _demo_w501(),
+        _demo_w502(),
+        _demo_w503(),
     ]

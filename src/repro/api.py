@@ -35,7 +35,10 @@ from __future__ import annotations
 
 import operator
 from dataclasses import replace
-from typing import Any, Callable, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # annotation-only: synth itself lazily imports the API
+    from repro.analysis.synth import SynthResult
 
 from repro.analysis.lint import Diagnostic
 from repro.analysis.loop_info import LoopInfo, analyze_loop_body
@@ -190,10 +193,20 @@ class ParallelLoop:
             self._run_protected(replay_epoch, results)
 
     def explain(self) -> str:
-        """A Fig. 6-style report of what static parallelization decided."""
+        """A Fig. 6-style report of what static parallelization decided.
+
+        When kernel synthesis ran (``kernel="auto"``), the report also
+        shows the outcome — the generated kernel source, or why synthesis
+        fell back to the scalar interpreter.
+        """
         from repro.analysis.explain import explain_plan
 
-        return explain_plan(self.info, self.plan)
+        return explain_plan(self.info, self.plan, synth=self.executor.synth)
+
+    def synthesis(self) -> Optional["SynthResult"]:
+        """The kernel-synthesis outcome, or ``None`` unless
+        ``kernel="auto"`` was requested (see :mod:`repro.analysis.synth`)."""
+        return self.executor.synth
 
     def diagnostics(self) -> List["Diagnostic"]:
         """The analyzer's lint findings for this loop's body.
@@ -251,6 +264,7 @@ class OrionContext:
         #: Kept apart from :attr:`now` — the two clocks never mix.
         self.real_now = 0.0
         self._arrays: List[DistArray] = []
+        self._loops: List["ParallelLoop"] = []
         self._seed_counter = 0
 
     # ---------------- array creation ----------------------------------- #
@@ -406,11 +420,16 @@ class OrionContext:
                 ``"multiprocess"`` (forked processes over shared-memory
                 partitions, real wall-clock results; see
                 :mod:`repro.runtime.backend`).
-            kernel: optional batched block kernel
-                ``kernel(block_entries, kctx)`` producing bit-identical
-                state and accounting to the scalar body (see
-                :mod:`repro.runtime.kernels`); used when the plan proves
-                whole-block batching legal, scalar fallback otherwise.
+            kernel: batched block kernel selection.  A callable
+                ``kernel(block_entries, kctx)`` registers a hand kernel
+                producing bit-identical state and accounting to the scalar
+                body (see :mod:`repro.runtime.kernels`); ``"auto"``
+                synthesizes one from the loop body
+                (:mod:`repro.analysis.synth`), falling back to the scalar
+                interpreter with a W50x diagnostic when the body is not
+                batchable; ``"off"``/``None`` forces the scalar path.
+                Either way the kernel only runs when the plan proves
+                whole-block batching legal.
             equivalence_check: run the first kernel-eligible block through
                 both paths and fail loudly on any state or accounting
                 difference (tests; the block runs twice, so the body must
@@ -463,13 +482,30 @@ class OrionContext:
             executor = OrionExecutor(
                 body, info, plan, self.cluster, options=final
             )
-            return ParallelLoop(
+            loop = ParallelLoop(
                 self, body, info, plan, executor, options=final
             )
+            self._loops.append(loop)
+            return loop
 
         return decorate
 
     # ---------------- bookkeeping -------------------------------------- #
+
+    def close(self) -> None:
+        """Release backend resources (worker processes, shared memory) of
+        every loop this context built.  Safe to call more than once; loops
+        can still run afterwards — backends re-acquire what they need.
+        Multi-loop programs (e.g. GBT) need this rather than closing
+        ``train_loop`` alone."""
+        for loop in self._loops:
+            loop.close()
+
+    def __enter__(self) -> "OrionContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _absorb(self, result: EpochResult) -> None:
         if result.clock == "real":

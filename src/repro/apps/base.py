@@ -27,9 +27,44 @@ from repro.api import OrionContext, ParallelLoop
 from repro.runtime.executor import EpochResult
 from repro.runtime.history import RunHistory
 
-__all__ = ["OrionProgram", "SerialApp"]
+__all__ = ["OrionProgram", "SerialApp", "resolve_kernel_option"]
 
 Entry = Tuple[Tuple[int, ...], Any]
+
+
+def resolve_kernel_option(
+    use_kernel: Any, hand_kernel: Optional[Callable[..., Any]] = None
+) -> Any:
+    """Resolve an app builder's ``use_kernel`` flag to a ``kernel`` option.
+
+    The returned value is what the builder passes to ``parallel_for``:
+
+    * ``True`` — the best available: the app's hand kernel when it ships
+      one, otherwise ``"auto"`` (synthesize from the body, scalar fallback
+      with a W50x diagnostic when the body is not batchable);
+    * ``"hand"`` — the hand kernel, an error when the app has none;
+    * ``"auto"`` — always synthesize (hand kernel ignored);
+    * ``False`` / ``None`` / ``"off"`` — the scalar interpreter.
+    """
+    if use_kernel is True:
+        return hand_kernel if hand_kernel is not None else "auto"
+    if use_kernel in (False, None):
+        return None
+    if use_kernel == "hand":
+        if hand_kernel is None:
+            raise ValueError(
+                "this app has no hand-written kernel; "
+                "pass use_kernel='auto', True, or 'off'"
+            )
+        return hand_kernel
+    if use_kernel == "auto":
+        return "auto"
+    if use_kernel == "off":
+        return None
+    raise ValueError(
+        f"use_kernel must be True, False, 'hand', 'auto' or 'off' "
+        f"(got {use_kernel!r})"
+    )
 
 
 @dataclass
@@ -60,6 +95,17 @@ class OrionProgram:
     def plan(self):
         """The main loop's parallelization plan (None for multi-loop apps)."""
         return self.train_loop.plan if self.train_loop is not None else None
+
+    def close(self) -> None:
+        """Release backend resources of every loop in the program (worker
+        processes, shared memory) via :meth:`OrionContext.close`."""
+        self.ctx.close()
+
+    def __enter__(self) -> "OrionProgram":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run(self, epochs: int) -> RunHistory:
         """Train for ``epochs`` data passes, measuring loss after each.

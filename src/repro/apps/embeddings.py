@@ -19,12 +19,12 @@ arrays rotated together.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.api import OrionContext
-from repro.apps.base import Entry, OrionProgram, SerialApp
+from repro.apps.base import Entry, OrionProgram, SerialApp, resolve_kernel_option
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.simtime import CostModel
 
@@ -144,9 +144,16 @@ def build_orion_program(
     hyper: GloVeHyper = GloVeHyper(),
     seed: int = 0,
     label: Optional[str] = None,
+    use_kernel: Any = True,
     **loop_opts,
 ) -> OrionProgram:
-    """Build the GloVe Orion program (2D unordered)."""
+    """Build the GloVe Orion program (2D unordered).
+
+    GloVe ships no hand-written kernel; ``use_kernel=True`` (default)
+    therefore synthesizes one from the loop body (``kernel="auto"``) —
+    the app picks up the batched fast path for free.  Pass ``False`` /
+    ``"off"`` for the scalar interpreter.
+    """
     cluster = cluster or ClusterSpec(num_machines=1, workers_per_machine=4)
     ctx = OrionContext(cluster=cluster, seed=seed)
     cooc = ctx.from_entries(dataset.entries, name="cooc", shape=dataset.shape)
@@ -172,7 +179,8 @@ def build_orion_program(
         bw[key[0]] = bw[key[0]] - scale
         bc[key[1]] = bc[key[1]] - scale
 
-    loop = ctx.parallel_for(cooc, **loop_opts)(body)
+    kernel_opt = loop_opts.pop("kernel", resolve_kernel_option(use_kernel))
+    loop = ctx.parallel_for(cooc, kernel=kernel_opt, **loop_opts)(body)
 
     def loss_fn() -> float:
         return glove_loss(

@@ -19,12 +19,12 @@ and parallelizes the loop 2D unordered, exactly the paper's Table 2 entry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.api import OrionContext
-from repro.apps.base import Entry, OrionProgram, SerialApp
+from repro.apps.base import Entry, OrionProgram, SerialApp, resolve_kernel_option
 from repro.data.synthetic import CorpusDataset
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.simtime import CostModel
@@ -108,7 +108,7 @@ def build_orion_program(
     parallelism: str = "2d",
     seed: int = 0,
     label: Optional[str] = None,
-    use_kernel: bool = True,
+    use_kernel: Any = True,
     **loop_opts,
 ) -> OrionProgram:
     """Build the LDA Orion program.
@@ -415,10 +415,13 @@ def build_orion_program(
             kctx.account_row_writes(doc_topic, docs)
             kctx.account_point_writes(assignments, keys)
 
+    kernel_opt = loop_opts.pop(
+        "kernel", resolve_kernel_option(use_kernel, kernel)
+    )
     loop = ctx.parallel_for(
         corpus,
         ordered=ordered,
-        kernel=kernel if use_kernel else None,
+        kernel=kernel_opt,
         **loop_opts,
     )(body)
 

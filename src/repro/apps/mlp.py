@@ -16,12 +16,12 @@ networks.  The weight DistArrays are 2-D; buffer writes address whole rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.api import OrionContext
-from repro.apps.base import Entry, OrionProgram, SerialApp
+from repro.apps.base import Entry, OrionProgram, SerialApp, resolve_kernel_option
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.simtime import CostModel
 
@@ -109,6 +109,7 @@ def build_orion_program(
     hyper: MLPHyper = MLPHyper(),
     seed: int = 0,
     label: Optional[str] = None,
+    use_kernel: Any = True,
     **loop_opts,
 ) -> OrionProgram:
     """Build the MLP Orion program (dense access; buffered data parallelism).
@@ -117,6 +118,12 @@ def build_orion_program(
     that forbids serializable parallelization — and sends gradient updates
     through per-matrix buffers, so the analyzer selects 1D data
     parallelism, as the paper prescribes for neural networks.
+
+    MLP has no hand kernel; ``use_kernel=True`` attempts synthesis
+    (``kernel="auto"``).  The body folds its loss into an accumulator, so
+    synthesis currently falls back to the scalar interpreter with a W501
+    diagnostic — the flag documents the intent and keeps the builder
+    uniform with the other apps.
     """
     cluster = cluster or ClusterSpec(num_machines=1, workers_per_machine=4)
     ctx = OrionContext(cluster=cluster, seed=seed)
@@ -154,7 +161,8 @@ def build_orion_program(
         w2_buf[:, :] = -step * g_w2
         b2_buf[:] = -step * g_b2
 
-    loop = ctx.parallel_for(samples, **loop_opts)(body)
+    kernel_opt = loop_opts.pop("kernel", resolve_kernel_option(use_kernel))
+    loop = ctx.parallel_for(samples, kernel=kernel_opt, **loop_opts)(body)
 
     def loss_fn() -> float:
         total = 0.0

@@ -12,12 +12,12 @@ rotated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.api import OrionContext
-from repro.apps.base import Entry, OrionProgram, SerialApp
+from repro.apps.base import Entry, OrionProgram, SerialApp, resolve_kernel_option
 from repro.data.synthetic import MFDataset
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.kernels import conflict_free_groups
@@ -100,7 +100,7 @@ def build_orion_program(
     eval_with_loop: bool = False,
     seed: int = 0,
     label: Optional[str] = None,
-    use_kernel: bool = True,
+    use_kernel: Any = True,
     **loop_opts,
 ) -> OrionProgram:
     """Build the paper's Fig. 5 program against the real Orion API.
@@ -257,10 +257,13 @@ def build_orion_program(
             kctx.account_col_reads(H, cols)
             kctx.account_col_writes(H, cols)
 
+    kernel_opt = loop_opts.pop(
+        "kernel", resolve_kernel_option(use_kernel, kernel)
+    )
     loop = ctx.parallel_for(
         ratings,
         ordered=ordered,
-        kernel=kernel if use_kernel else None,
+        kernel=kernel_opt,
         **loop_opts,
     )(body)
     rows, cols, values = _index_arrays(dataset.entries)

@@ -17,12 +17,12 @@ element-wise UDF — the atomic read-modify-write hook the paper highlights.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.api import OrionContext
-from repro.apps.base import Entry, OrionProgram, SerialApp
+from repro.apps.base import Entry, OrionProgram, SerialApp, resolve_kernel_option
 from repro.data.synthetic import SLRDataset
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.simtime import CostModel
@@ -85,7 +85,7 @@ def build_orion_program(
     hyper: SLRHyper = SLRHyper(),
     seed: int = 0,
     label: Optional[str] = None,
-    use_kernel: bool = True,
+    use_kernel: Any = True,
     **loop_opts,
 ) -> OrionProgram:
     """Build the SLR Orion program (1D data parallelism with buffers).
@@ -167,9 +167,10 @@ def build_orion_program(
         kctx.buffer_add(weight_buf, flat_fids, values)
         kctx.account_point_reads(weights, flat_fids)
 
-    loop = ctx.parallel_for(
-        samples, kernel=kernel if use_kernel else None, **loop_opts
-    )(body)
+    kernel_opt = loop_opts.pop(
+        "kernel", resolve_kernel_option(use_kernel, kernel)
+    )
+    loop = ctx.parallel_for(samples, kernel=kernel_opt, **loop_opts)(body)
 
     def loss_fn() -> float:
         return logistic_loss(weights.values, dataset.entries)

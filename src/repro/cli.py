@@ -50,9 +50,11 @@ from repro.apps import (
     SLRApp,
     SLRHyper,
     build_gbt,
+    build_glove,
     build_lda,
     build_sgd_mf,
     build_slr,
+    cooccurrence_corpus,
 )
 from repro.apps.lda import lda_cost_model
 from repro.apps.sgd_mf import mf_cost_model
@@ -437,6 +439,85 @@ def _lint_main(argv: List[str], out) -> int:
     return 1 if report.errors else 0
 
 
+def _synth_main(argv: List[str], out) -> int:
+    """``repro synth``: show what kernel synthesis makes of an app's loop.
+
+    Builds the requested app's training loop with ``kernel="auto"`` and
+    prints the synthesis report — the generated NumPy block-kernel source
+    when a tier succeeded, or the W50x fallback diagnostics explaining why
+    the scalar interpreter runs instead (see docs/analysis.md, "Kernel
+    synthesis").  ``--check`` additionally runs one equivalence-checked
+    epoch (bitwise state + accounting against the scalar interpreter).
+    Exit code 0 when a kernel was emitted, 1 on fallback.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro synth",
+        description="Synthesize a vectorized block kernel from an app's "
+                    "loop body and print the generated source.",
+    )
+    parser.add_argument(
+        "app",
+        choices=["mf", "mf-adarev", "glove", "lda", "lda-1d", "slr", "gbt"],
+        help="application whose training-loop body to compile",
+    )
+    parser.add_argument("--machines", type=int, default=4)
+    parser.add_argument("--workers-per-machine", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset size multiplier (synthesis is size-independent; "
+             "smaller is faster to build)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="run one equivalence-checked epoch over the synthesized "
+             "kernel (fails loudly on any state or accounting difference)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.app == "glove":
+        dataset = cooccurrence_corpus(
+            vocab_size=int(120 * args.scale),
+            num_tokens=int(6000 * args.scale),
+            seed=args.seed,
+        )
+        cluster = ClusterSpec(
+            num_machines=args.machines,
+            workers_per_machine=args.workers_per_machine,
+        )
+        builder = lambda cluster, **kw: build_glove(  # noqa: E731
+            dataset, cluster=cluster, **kw
+        )
+    else:
+        dataset, cost, builder, _app = _dataset_and_builders(args)
+        cluster_kwargs = {"cost": cost} if cost is not None else {}
+        cluster = ClusterSpec(
+            num_machines=args.machines,
+            workers_per_machine=args.workers_per_machine,
+            **cluster_kwargs,
+        )
+    extra = {"equivalence_check": True} if args.check else {}
+    program = builder(cluster, use_kernel="auto", **extra)
+    loop = program.train_loop
+    synth = loop.synthesis()
+    out.write(f"== synth: {args.app} ==\n{synth.describe()}\n")
+    w503 = [d for d in loop.diagnostics() if d.code == "W503"]
+    for diag in w503:
+        out.write(f"{diag.describe()}\n")
+    if args.check:
+        if synth.engaged and not w503:
+            program.epoch_fn()
+            out.write(
+                "equivalence check: one epoch ran with every kernel-"
+                "eligible block verified against the scalar interpreter\n"
+            )
+        else:
+            out.write(
+                "equivalence check skipped: no synthesized kernel ran\n"
+            )
+    return 0 if synth.engaged else 1
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -444,6 +525,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         argv = sys.argv[1:]
     if argv[:1] == ["lint"]:
         return _lint_main(list(argv[1:]), out)
+    if argv[:1] == ["synth"]:
+        return _synth_main(list(argv[1:]), out)
     args = build_parser().parse_args(argv)
     dataset, cost, builder, app = _dataset_and_builders(args)
     cluster_kwargs = {}

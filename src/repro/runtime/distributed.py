@@ -103,6 +103,13 @@ class SharedArrayPool:
     unlinks the segments, so the arrays outlive the runner unchanged.
     """
 
+    #: Arrays currently rebacked by a live pool, keyed by ``id(array)``.
+    #: Workers inherit the segment mapping at fork time, so two live pools
+    #: over one array would split the processes across two segments (stale
+    #: reads) and leave the second pool's ``original`` pointing into the
+    #: first pool's unlinked segment (a crash at release).
+    _live: Dict[int, "SharedArrayPool"] = {}
+
     def __init__(self) -> None:
         self._adopted: List[_Adopted] = []
         self._ids: set = set()
@@ -114,6 +121,14 @@ class SharedArrayPool:
         dense = getattr(array, "_dense", None)
         if dense is None:
             return
+        if id(array) in SharedArrayPool._live:
+            raise ExecutionError(
+                f"array {array.name!r} is already shared with a live "
+                "multiprocess runner; close that loop before starting "
+                "another one over the same arrays (programs that "
+                "interleave several loops over shared state, e.g. GBT, "
+                "cannot run them concurrently on backend='multiprocess')"
+            )
         shm = shared_memory.SharedMemory(create=True, size=max(1, dense.nbytes))
         view: np.ndarray = np.ndarray(dense.shape, dtype=dense.dtype,
                                       buffer=shm.buf)
@@ -121,6 +136,7 @@ class SharedArrayPool:
         array._dense = view
         self._adopted.append(_Adopted(shm, array, dense, view))
         self._ids.add(id(array))
+        SharedArrayPool._live[id(array)] = self
 
     @property
     def nbytes(self) -> int:
@@ -144,6 +160,8 @@ class SharedArrayPool:
                 record.shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+            if SharedArrayPool._live.get(id(record.array)) is self:
+                del SharedArrayPool._live[id(record.array)]
         self._adopted = []
         self._ids = set()
 

@@ -39,7 +39,12 @@ from repro.runtime.kernels import KernelContext, normalize_index
 from repro.runtime.options import UNSET, LoopOptions
 from repro.runtime.pserver import PrefetchManager, index_nbytes
 
-__all__ = ["EpochResult", "OrionExecutor", "indices_overlap"]
+__all__ = [
+    "EpochResult",
+    "OrionExecutor",
+    "indices_overlap",
+    "kernel_batching_legal",
+]
 
 
 # --------------------------------------------------------------------- #
@@ -214,6 +219,41 @@ class EpochResult:
     clock: str = "virtual"
 
 
+def kernel_batching_legal(info: Any, plan: Any) -> Tuple[bool, str]:
+    """Whether a plan permits batched (whole-block) kernel execution.
+
+    A kernel replaces the per-entry body loop with one call per block, so
+    it is legal exactly when the schedule already treats the block as one
+    sequential unit whose relaxed dependences all flow through buffers:
+
+    * 2D plans (ordered or unordered): each block owns disjoint rotated
+      partitions, so intra-block entries are free to batch.
+    * 1D / data-parallel plans: legal only when the body's shared writes
+      go through DistArray Buffers (otherwise direct writes may carry
+      loop-ordered dependences the analysis preserved by other means).
+    * Unimodular-transformed plans: blocks follow skewed wavefronts; the
+      scalar path keeps the transformed order, so no batching.
+    * ``max_delay`` buffers flush mid-block on the scalar path; a batched
+      kernel cannot reproduce that timing, so fall back.
+
+    Returns ``(legal, reason)``; ``reason`` explains a ``False`` verdict.
+    """
+    if any(
+        buffer.max_delay is not None for buffer in info.buffers.values()
+    ):
+        return False, "max_delay buffers flush mid-block on the scalar path"
+    if plan.strategy is Strategy.TWO_D:
+        return True, ""
+    if plan.strategy in (Strategy.ONE_D, Strategy.DATA_PARALLEL):
+        if info.buffers:
+            return True, ""
+        return False, (
+            "1D/data-parallel plans only batch bodies whose shared writes "
+            "go through buffers"
+        )
+    return False, f"{plan.strategy.name} blocks are not batchable"
+
+
 class OrionExecutor:
     """Runs one compiled parallel for-loop on the simulated cluster.
 
@@ -321,7 +361,10 @@ class OrionExecutor:
         self.validate = opts.validate
         self.prefetch_mode = opts.prefetch
         self.cache_prefetch = opts.cache_prefetch
-        self.kernel = opts.kernel
+        #: Synthesis outcome when ``kernel="auto"`` resolved the kernel
+        #: (``None`` for hand kernels / kernel-less loops).
+        self.synth = None
+        self.kernel = self._resolve_kernel(opts.kernel)
         self.equivalence_check = opts.equivalence_check
         self.sanitize = opts.sanitize
         #: Shadow-access records accumulated during a sanitized epoch
@@ -361,6 +404,51 @@ class OrionExecutor:
         self.num_time = 1
         self.epochs_run = 0
         self._setup()
+        if self.synth is not None and self.synth.engaged:
+            legal, reason = kernel_batching_legal(self.info, self.plan)
+            if not legal:
+                from repro.analysis.lint import Diagnostic, location_of
+
+                self.info.diagnostics.append(
+                    Diagnostic(
+                        code="W503",
+                        message=f"synthesized kernel is unused: {reason}",
+                        location=location_of(
+                            self.info.tree, self.info.source_file
+                        ),
+                    )
+                )
+
+    def _resolve_kernel(self, kernel: Any) -> Optional[Callable[..., Any]]:
+        """Resolve ``LoopOptions.kernel`` to a callable (or ``None``).
+
+        ``"auto"`` synthesizes a kernel from the analyzed body (appending
+        any W50x fallback diagnostics to the loop's diagnostics), ``"off"``
+        disables batching, and a callable passes through unchanged.
+        """
+        if kernel is None or callable(kernel):
+            return kernel
+        if not isinstance(kernel, str):
+            raise ExecutionError(
+                f"kernel must be a callable, 'auto', 'off', or None; "
+                f"got {kernel!r}"
+            )
+        mode = kernel.lower()
+        if mode == "off":
+            return None
+        if mode == "hand":
+            raise ExecutionError(
+                "kernel='hand' is resolved by app builders (their "
+                "use_kernel flag); pass the hand kernel callable, 'auto', "
+                "or 'off' here"
+            )
+        if mode != "auto":
+            raise ExecutionError(f"unknown kernel mode {kernel!r}")
+        from repro.analysis.synth import synthesize_kernel
+
+        self.synth = synthesize_kernel(self.body, self.info)
+        self.info.diagnostics.extend(self.synth.diagnostics)
+        return self.synth.kernel
 
     # ---------------- setup: partition + schedule ---------------------- #
 
@@ -453,34 +541,7 @@ class OrionExecutor:
         self._ready = True
 
     def _kernel_legal(self) -> bool:
-        """Whether the plan permits batched (whole-block) execution.
-
-        A kernel replaces the per-entry body loop with one call per block,
-        so it is legal exactly when the schedule already treats the block as
-        one sequential unit whose relaxed dependences all flow through
-        buffers:
-
-        * 2D plans (ordered or unordered): each block owns disjoint rotated
-          partitions, so intra-block entries are free to batch.
-        * 1D / data-parallel plans: legal only when the body's shared writes
-          go through DistArray Buffers (otherwise direct writes may carry
-          loop-ordered dependences the analysis preserved by other means).
-        * Unimodular-transformed plans: blocks follow skewed wavefronts; the
-          scalar path keeps the transformed order, so no batching.
-        * ``max_delay`` buffers flush mid-block on the scalar path; a
-          batched kernel cannot reproduce that timing, so fall back.
-        """
-        plan = self.plan
-        if any(
-            buffer.max_delay is not None
-            for buffer in self.info.buffers.values()
-        ):
-            return False
-        if plan.strategy is Strategy.TWO_D:
-            return True
-        if plan.strategy in (Strategy.ONE_D, Strategy.DATA_PARALLEL):
-            return bool(self.info.buffers)
-        return False
+        return kernel_batching_legal(self.info, self.plan)[0]
 
     # ---------------- epoch execution ---------------------------------- #
 

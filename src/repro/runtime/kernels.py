@@ -42,7 +42,9 @@ __all__ = [
     "KernelContext",
     "PlainBroker",
     "conflict_free_groups",
+    "conflict_free_groups_nd",
     "normalize_index",
+    "scalar_pow",
 ]
 
 _FULL = slice(None)
@@ -119,6 +121,56 @@ def conflict_free_groups(
     if lo < len(rows):
         groups.append((lo, len(rows)))
     return groups
+
+
+def conflict_free_groups_nd(
+    seqs: Sequence[Sequence[int]],
+) -> List[Tuple[int, int]]:
+    """N-dimensional generalization of :func:`conflict_free_groups`.
+
+    ``seqs`` holds one per-entry index sequence per conflict dimension
+    (all the same length).  A run breaks as soon as any dimension repeats
+    a value already seen in the current run; within a run, no two entries
+    touch the same parameter index on any conflict dimension.
+    """
+    if not seqs:
+        return []
+    n = len(seqs[0])
+    groups: List[Tuple[int, int]] = []
+    lo = 0
+    seen: List[set] = [set() for _ in seqs]
+    for position in range(n):
+        values = [seq[position] for seq in seqs]
+        if any(v in s for v, s in zip(values, seen)):
+            groups.append((lo, position))
+            lo = position
+            seen = [{v} for v in values]
+        else:
+            for s, v in zip(seen, values):
+                s.add(v)
+    if lo < n:
+        groups.append((lo, n))
+    return groups
+
+
+def scalar_pow(base: Any, exponent: Any) -> Any:
+    """Elementwise ``**`` that is bit-identical to the scalar interpreter.
+
+    NumPy's vectorized ``**`` uses a SIMD pow that differs from Python's
+    scalar pow in the last ulp for a few percent of inputs, which would
+    break the kernel contract's bit-identity clause.  This helper applies
+    Python-level ``**`` per element (``np.float64.__pow__`` matches
+    ``float.__pow__`` exactly), trading speed for faithfulness on the rare
+    bodies that exponentiate.
+    """
+    b, e = np.broadcast_arrays(np.asarray(base), np.asarray(exponent))
+    out = np.empty(b.shape, dtype=np.result_type(b, e))
+    flat_out = out.reshape(-1)
+    flat_b = b.reshape(-1)
+    flat_e = e.reshape(-1)
+    for i in range(flat_out.size):
+        flat_out[i] = flat_b[i] ** flat_e[i]
+    return out
 
 
 class KernelContext:
@@ -198,6 +250,15 @@ class KernelContext:
     def account_full_reads(self, array: DistArray, count: int) -> None:
         """Declare ``count`` full-array reads (``array[:]`` per entry)."""
         self._account(array, False, lambda: [_FULL] * count)
+
+    def account_reads(self, array: DistArray, indices: Sequence[Any]) -> None:
+        """Declare N reads with raw subscripts (ints, tuples, slices) —
+        the generic form synthesized kernels emit for arbitrary sites."""
+        self._account(array, False, lambda: list(indices))
+
+    def account_writes(self, array: DistArray, indices: Sequence[Any]) -> None:
+        """Declare N writes with raw subscripts."""
+        self._account(array, True, lambda: list(indices))
 
     # ---------------- internals ---------------------------------------- #
 

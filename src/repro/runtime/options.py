@@ -19,7 +19,7 @@ behavior cliff.  See ``docs/fault_tolerance.md`` for the migration guide.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple, Union
 
 from repro.obs.observability import Observability
 
@@ -55,7 +55,14 @@ class LoopOptions:
             on forked OS processes over shared-memory partitions
             (:class:`~repro.runtime.distributed.MultiprocessRunner`) and
             reports *real* wall-clock epoch times.
-        kernel: optional batched block kernel.
+        kernel: batched block kernel selection — a callable (a hand
+            kernel following the contract in ``runtime/kernels.py``),
+            ``"auto"`` (synthesize one from the loop body via
+            :mod:`repro.analysis.synth`, falling back to the scalar
+            interpreter with a W50x diagnostic when the body is not
+            batchable), or ``"off"``/``None`` for the scalar path.
+            ``"hand"`` is resolved by the app builders' ``use_kernel``
+            flag, not here.
         equivalence_check: run the first kernel-eligible block through
             both paths and fail on any difference.
         sanitize: run the shadow-access race detector
@@ -88,7 +95,7 @@ class LoopOptions:
     cache_prefetch: bool = True
     concurrency: str = "serial"
     backend: str = "simulated"
-    kernel: Optional[Callable[..., Any]] = None
+    kernel: Optional[Union[Callable[..., Any], str]] = None
     equivalence_check: bool = False
     sanitize: bool = False
     tracer: Optional[Any] = None
