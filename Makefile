@@ -2,17 +2,20 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check compile test trace-smoke fault-smoke distributed-smoke \
-	lint-smoke sanitize-smoke synth-smoke bench-smoke bench-distributed clean
+	lint-smoke sanitize-smoke synth-smoke perf-smoke bench-smoke \
+	bench-distributed clean
 
 ## Default verification: imports compile, tier-1 tests pass, the tracing
 ## pipeline produces a loadable Perfetto trace end to end, the
 ## fault-injection/recovery story holds its invariants, the forked
 ## multiprocess backend stays bitwise-faithful to the simulated oracle,
 ## every bundled app lints clean, sanitize mode passes a mini-run of
-## each parallelization strategy on both backends, and kernel synthesis
-## emits equivalence-checked kernels for the batchable apps.
+## each parallelization strategy on both backends, kernel synthesis
+## emits equivalence-checked kernels for the batchable apps, and
+## `repro perf` regression detection passes clean seeded runs while
+## flagging an artificial slowdown.
 check: compile test trace-smoke fault-smoke distributed-smoke lint-smoke \
-	sanitize-smoke synth-smoke
+	sanitize-smoke synth-smoke perf-smoke
 
 compile:
 	$(PYTHON) -m compileall -q src
@@ -99,6 +102,27 @@ synth-smoke:
 	done
 	@echo "synth-smoke ok"
 
+## Run-store regression detection end to end: two identical seeded runs
+## must record, compare and check clean (virtual-clock determinism =>
+## zero noise margin), then a run artificially slowed 2.5x via an
+## explicit straggler plan must be flagged by `repro perf check`.
+perf-smoke:
+	rm -rf .repro_runs_smoke
+	$(PYTHON) -m repro.cli slr --engine orion --epochs 2 --scale 0.3 \
+		--run-store .repro_runs_smoke > /dev/null
+	$(PYTHON) -m repro.cli slr --engine orion --epochs 2 --scale 0.3 \
+		--run-store .repro_runs_smoke > /dev/null
+	$(PYTHON) -m repro.cli perf compare --store .repro_runs_smoke
+	$(PYTHON) -m repro.cli perf check --store .repro_runs_smoke
+	$(PYTHON) -m repro.cli slr --engine orion --epochs 2 --scale 0.3 \
+		--run-store .repro_runs_smoke --slow-factor 2.5 > /dev/null
+	@if $(PYTHON) -m repro.cli perf check --store .repro_runs_smoke; then \
+		echo "perf-smoke: 2.5x slowdown was NOT flagged"; exit 1; \
+	else \
+		echo "perf-smoke ok (slowdown flagged)"; \
+	fi
+	rm -rf .repro_runs_smoke
+
 ## Wall-clock kernel-vs-scalar throughput; writes BENCH_wallclock.json.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_wallclock.py
@@ -110,4 +134,4 @@ bench-distributed:
 
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +
-	rm -rf .pytest_cache trace.json
+	rm -rf .pytest_cache trace.json .repro_runs .repro_runs_smoke

@@ -38,6 +38,7 @@ from repro.apps.sgd_mf import build_orion_program as build_mf
 from repro.apps.slr import SLRHyper
 from repro.apps.slr import build_orion_program as build_slr
 from repro.data.synthetic import lda_corpus, netflix_like, sparse_classification
+from repro.obs.insight import prediction_error
 from repro.runtime.cluster import ClusterSpec
 
 EPOCHS = 3
@@ -63,16 +64,16 @@ def _run_scalar(build, cluster, epochs: int) -> float:
 
 
 def _run_oracle(build, cluster, epochs: int):
-    """Simulated run: (programs' arrays, predicted virtual seconds)."""
+    """Simulated run: (arrays, predicted total, per-epoch predictions)."""
     program = build(cluster, use_kernel=True)
     program.train_loop.run(1)  # align with the multiprocess warm-up pass
     results = program.train_loop.run(epochs)
-    predicted = sum(r.epoch_time_s for r in results)
-    return _dense_arrays(program), predicted
+    per_epoch = [r.epoch_time_s for r in results]
+    return _dense_arrays(program), sum(per_epoch), per_epoch
 
 
 def _run_multiprocess(build, cluster, epochs: int):
-    """Forked run: (wall seconds, mean utilization, programs' arrays)."""
+    """Forked run: (wall seconds, util, arrays, per-epoch wall seconds)."""
     program = build(cluster, use_kernel=True, backend="multiprocess")
     loop = program.train_loop
     try:
@@ -83,7 +84,8 @@ def _run_multiprocess(build, cluster, epochs: int):
     finally:
         loop.close()
     util = sum(r.utilization for r in results) / max(len(results), 1)
-    return wall, util, _dense_arrays(program)
+    per_epoch = [r.epoch_time_s for r in results]
+    return wall, util, _dense_arrays(program), per_epoch
 
 
 def _measure(build, num_entries: int, epochs: int, worker_counts) -> dict:
@@ -91,8 +93,12 @@ def _measure(build, num_entries: int, epochs: int, worker_counts) -> dict:
     for workers in worker_counts:
         cluster = ClusterSpec(num_machines=1, workers_per_machine=workers)
         scalar_wall = _run_scalar(build, cluster, epochs)
-        oracle_arrays, predicted = _run_oracle(build, cluster, epochs)
-        wall, util, mp_arrays = _run_multiprocess(build, cluster, epochs)
+        oracle_arrays, predicted, predicted_epochs = _run_oracle(
+            build, cluster, epochs
+        )
+        wall, util, mp_arrays, real_epochs = _run_multiprocess(
+            build, cluster, epochs
+        )
         bitwise = all(
             np.array_equal(oracle_arrays[name].values, mp_arrays[name].values)
             for name in oracle_arrays
@@ -105,6 +111,9 @@ def _measure(build, num_entries: int, epochs: int, worker_counts) -> dict:
             "predicted_virtual_seconds": round(predicted, 4),
             "utilization": round(util, 3),
             "bitwise_identical_to_simulated": bitwise,
+            # Per-epoch virtual-vs-real breakdown (how far the cost
+            # model's prediction is from measured wall time).
+            "prediction": prediction_error(real_epochs, predicted_epochs),
         }
         out["workers"][str(workers)] = row
     last = out["workers"][str(worker_counts[-1])]
@@ -186,13 +195,18 @@ def main() -> int:
     for name, row in results["apps"].items():
         for workers, cell in row["workers"].items():
             flag = "bitwise" if cell["bitwise_identical_to_simulated"] else "  -    "
+            prediction = cell.get("prediction") or {}
+            err = ""
+            if prediction:
+                err = f" (err {prediction['total_error_pct']:+.0f}%)"
             print(
                 f"  {name:{width}s} x{workers}  "
                 f"scalar {cell['scalar_1proc_wall_seconds']:7.3f}s  "
                 f"mp {cell['wall_seconds']:7.3f}s  "
                 f"({cell['speedup_vs_scalar']:5.2f}x, util "
                 f"{cell['utilization']:.0%})  "
-                f"predicted {cell['predicted_virtual_seconds']:7.3f}s  {flag}"
+                f"predicted {cell['predicted_virtual_seconds']:7.3f}s"
+                f"{err}  {flag}"
             )
     mf_row = results["apps"]["sgd_mf"]
     if not mf_row["bitwise_identical"]:

@@ -150,11 +150,26 @@ class ParallelLoop:
                 if self.ctx is not None:
                     self.ctx._absorb(result)
                 results.append(result)
-            return results
-        for _ in range(epochs):
-            self._epoch += 1
-            self._run_protected(self._epoch, results)
+        else:
+            for _ in range(epochs):
+                self._epoch += 1
+                self._run_protected(self._epoch, results)
+        if self.options.run_store is not None:
+            self._persist_run(results)
         return results
+
+    def _persist_run(self, results: List[EpochResult]) -> None:
+        """Append one run-store record for a finished :meth:`run` call.
+
+        Pure introspection after the pass: with ``run_store`` unset this
+        is never reached and results stay bit-identical (the import is
+        lazy so unrecorded runs do not even load the module)."""
+        from repro.obs.runstore import RunStore, record_run
+
+        store = RunStore.resolve(self.options.run_store)
+        store.append(
+            record_run(self, results, label=self.options.run_label)
+        )
 
     def close(self) -> None:
         """Release the backend's resources (worker processes, shared

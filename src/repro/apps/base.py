@@ -124,6 +124,17 @@ class OrionProgram:
         )
         if executor is not None:
             history.meta["kernel_path"] = executor.kernel_path
+            history.meta["kernel_tier"] = executor.kernel_tier
+            # Kernel-synthesis fallback diagnostics (W501-W503): recorded
+            # so a run's report can explain why the scalar path ran
+            # without a separate `repro lint` invocation.
+            kernel_diags = [
+                diag.describe()
+                for diag in self.train_loop.diagnostics()
+                if diag.code.startswith("W5")
+            ]
+            if kernel_diags:
+                history.meta["kernel_diagnostics"] = kernel_diags
             if executor.tracer.enabled:
                 history.meta["tracer"] = executor.tracer
             if executor.metrics.enabled:

@@ -19,8 +19,23 @@ Observability (see ``docs/observability.md``)::
 ``--trace`` writes a Chrome-trace/Perfetto JSON of the run's virtual
 timeline (open in `ui.perfetto.dev`; with ``--engine all`` every engine
 appears as its own process, side by side).  ``--report`` prints a
-straggler/utilization summary.  ``--history-out`` writes the run histories
-as machine-readable JSON.
+straggler/utilization summary followed by the insight layer's
+critical-path attribution, bottleneck what-ifs and — for multiprocess
+runs — the virtual-vs-real prediction error.  ``--history-out`` writes
+the run histories as machine-readable JSON.
+
+Performance tracking (see ``docs/observability.md``)::
+
+    python -m repro.cli mf --engine orion --run-store .repro_runs
+    python -m repro.cli perf show
+    python -m repro.cli perf compare        # last two runs; exit 1 on regression
+    python -m repro.cli perf check          # latest vs baselines, per group
+
+``--run-store`` appends one structured JSONL record per orion-engine run
+(loop signature, plan, kernel tier, per-epoch timings, metrics snapshot);
+``repro perf`` performs noise-aware regression detection against the
+recorded baselines.  ``--slow-factor X`` injects a deterministic
+virtual-clock slowdown for exercising the detector.
 
 Fault injection (see ``docs/fault_tolerance.md``)::
 
@@ -73,11 +88,15 @@ from repro.data import (
     regression_table,
     sparse_classification,
 )
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultPlan, Straggler
 from repro.obs import (
     MetricsRegistry,
+    RunStore,
     Tracer,
     add_traffic_spans,
+    check_store,
+    compare_records,
+    insight_report,
     straggler_report,
     write_chrome_trace,
 )
@@ -164,16 +183,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint directory (default: a fresh temp directory; "
              "each engine writes its own subdirectory)",
     )
+    parser.add_argument(
+        "--run-store", metavar="PATH", default=None,
+        help="record each orion-engine run as a JSONL record in this "
+             "run store for `repro perf` (see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--slow-factor", type=float, metavar="X", default=None,
+        help="artificially slow every worker's block time by X (an "
+             "explicit straggler plan on the virtual clock, simulated "
+             "backend only) — for exercising `repro perf check` "
+             "regression detection",
+    )
     return parser
 
 
 def _fault_plan(args, cluster: ClusterSpec) -> Optional[FaultPlan]:
-    """A fresh plan per engine — plans track which crashes already fired."""
-    if not args.faults:
-        return None
-    return FaultPlan.from_spec(
-        args.faults, epochs=args.epochs, num_workers=cluster.num_workers
-    )
+    """A fresh plan per engine — plans track which crashes already fired.
+
+    ``--slow-factor X`` builds an explicit plan that straggles *every*
+    worker in *every* epoch by exactly X — a deterministic artificial
+    slowdown (virtual time only, never data) for exercising ``repro perf``
+    regression detection.
+    """
+    if args.faults:
+        return FaultPlan.from_spec(
+            args.faults, epochs=args.epochs, num_workers=cluster.num_workers
+        )
+    if getattr(args, "slow_factor", None):
+        return FaultPlan(
+            stragglers=[
+                Straggler(worker=worker, epoch=epoch,
+                          slowdown=args.slow_factor)
+                for epoch in range(1, args.epochs + 1)
+                for worker in range(cluster.num_workers)
+            ],
+        )
+    return None
 
 
 def _fault_options(
@@ -191,7 +237,8 @@ def _fault_options(
     """
     if not (
         args.faults or args.ckpt_every or backend is not None
-        or args.sanitize
+        or args.sanitize or getattr(args, "slow_factor", None)
+        or getattr(args, "run_store", None)
     ):
         return None
     checkpoint = None
@@ -205,6 +252,8 @@ def _fault_options(
         checkpoint=checkpoint,
         backend=backend or "simulated",
         sanitize=args.sanitize,
+        run_store=getattr(args, "run_store", None),
+        run_label=f"{args.app}:{engine}",
     )
 
 
@@ -518,6 +567,133 @@ def _synth_main(argv: List[str], out) -> int:
     return 0 if synth.engaged else 1
 
 
+def _perf_main(argv: List[str], out) -> int:
+    """``repro perf``: inspect recorded runs, detect regressions.
+
+    Consumes the JSONL run store that ``--run-store`` (or the
+    ``LoopOptions.run_store`` API option) populates:
+
+    * ``show`` — one table row per recorded run;
+    * ``compare`` — two runs head to head (default: the last two);
+      exit 1 when the candidate regressed past the noise margin;
+    * ``check`` — the latest run of every (signature, clock, epoch)
+      group against the median of its predecessors; exit 1 when any
+      group regressed.  Deterministic virtual-clock groups have zero
+      spread, so identical seeded runs compare bit-exactly while an
+      artificially slowed run (``--slow-factor``) is flagged.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro perf",
+        description="Inspect a run store and detect performance "
+                    "regressions (see docs/observability.md).",
+    )
+    parser.add_argument(
+        "action", choices=["show", "compare", "check"],
+        help="show the recorded runs, compare two of them, or "
+             "regression-check the latest run of every group",
+    )
+    parser.add_argument(
+        "--store", metavar="PATH", default=RunStore().root,
+        help="run-store directory (default: .repro_runs)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="minimum relative slowdown to flag (default 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--noise-factor", type=float, default=2.0,
+        help="noise margin multiplier on the baselines' observed "
+             "spread (default 2.0)",
+    )
+    parser.add_argument(
+        "--baseline", type=int, metavar="I", default=-2,
+        help="compare: baseline record index (default -2, the "
+             "second-to-last run)",
+    )
+    parser.add_argument(
+        "--candidate", type=int, metavar="I", default=-1,
+        help="compare: candidate record index (default -1, the last run)",
+    )
+    args = parser.parse_args(argv)
+
+    store = RunStore(args.store)
+    records = store.load()
+
+    if args.action == "show":
+        if not records:
+            out.write(f"(run store {store.path} is empty)\n")
+            return 0
+        out.write(
+            f"{'#':>3s} {'label':24s} {'sig':8s} {'backend':12s} "
+            f"{'clock':7s} {'tier':16s} {'ep':>3s} {'total s':>10s} "
+            f"{'util%':>6s} {'flags':s}\n"
+        )
+        for index, record in enumerate(records):
+            flags = []
+            if record.faulted:
+                flags.append("faulted")
+            if record.first_epoch != 1:
+                flags.append(f"from-epoch-{record.first_epoch}")
+            out.write(
+                f"{index:3d} {record.label:24s} {record.signature[:8]:8s} "
+                f"{record.backend:12s} {record.clock:7s} "
+                f"{record.kernel_tier:16s} {len(record.epochs):3d} "
+                f"{record.total_time_s:10.4f} "
+                f"{record.mean_utilization * 100:6.1f} "
+                f"{','.join(flags)}\n"
+            )
+        return 0
+
+    if args.action == "compare":
+        if len(records) < 2:
+            out.write(
+                f"need at least two recorded runs to compare "
+                f"({len(records)} in {store.path})\n"
+            )
+            return 2
+        try:
+            baseline = records[args.baseline]
+            candidate = records[args.candidate]
+        except IndexError:
+            out.write(
+                f"record index out of range (store has {len(records)} "
+                f"records)\n"
+            )
+            return 2
+        verdict = compare_records(
+            baseline, candidate,
+            threshold=args.threshold, noise_factor=args.noise_factor,
+        )
+        out.write(verdict.describe() + "\n")
+        base_times, cand_times = baseline.epoch_times, candidate.epoch_times
+        if base_times and cand_times:
+            out.write("  per-epoch (baseline -> candidate):\n")
+            for index in range(max(len(base_times), len(cand_times))):
+                b = base_times[index] if index < len(base_times) else None
+                c = cand_times[index] if index < len(cand_times) else None
+                b_s = f"{b * 1e3:10.3f} ms" if b is not None else "         —"
+                c_s = f"{c * 1e3:10.3f} ms" if c is not None else "         —"
+                delta = ""
+                if b and c:
+                    delta = f"  ({c / b:.3f}x)"
+                out.write(f"    epoch {index + 1}: {b_s} -> {c_s}{delta}\n")
+        return 1 if verdict.regressed else 0
+
+    # check
+    verdicts = check_store(
+        records, threshold=args.threshold, noise_factor=args.noise_factor
+    )
+    if not verdicts:
+        out.write(
+            f"(no comparable run groups in {store.path} — every "
+            f"(signature, clock, epoch) group has at most one record)\n"
+        )
+        return 0
+    for verdict in verdicts:
+        out.write(verdict.describe() + "\n")
+    return 1 if any(verdict.regressed for verdict in verdicts) else 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -527,7 +703,15 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _lint_main(list(argv[1:]), out)
     if argv[:1] == ["synth"]:
         return _synth_main(list(argv[1:]), out)
+    if argv[:1] == ["perf"]:
+        return _perf_main(list(argv[1:]), out)
     args = build_parser().parse_args(argv)
+    if args.slow_factor is not None and args.backend != "simulated":
+        out.write(
+            "--slow-factor injects virtual-clock stragglers and requires "
+            "--backend simulated\n"
+        )
+        return 2
     dataset, cost, builder, app = _dataset_and_builders(args)
     cluster_kwargs = {}
     if cost is not None:
@@ -598,7 +782,32 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             json.dump(payload, handle, indent=2)
         out.write(f"histories written to {args.history_out}\n")
     if args.report and tracer is not None:
-        out.write("\n" + straggler_report(tracer, metrics) + "\n")
+        if args.backend == "multiprocess":
+            # Real-clock runs traced only `@wall` spans.  Replay the orion
+            # engines on the simulated backend into the same tracer so the
+            # insight layer can pair each engine's predicted virtual-clock
+            # epochs with the measured `@wall` ones (prediction error).
+            sim_args = argparse.Namespace(**vars(args))
+            sim_args.backend = "simulated"
+            sim_args.run_store = None
+            sim_args.slow_factor = None
+            for engine in ("orion", "orion-ordered"):
+                if engine in results:
+                    _run_engine(
+                        engine, sim_args, cluster, builder, app,
+                        tracer=tracer, metrics=MetricsRegistry(),
+                    )
+        kernel_diags = [
+            f"({engine}) {diag}"
+            for engine, history in results.items()
+            for diag in history.meta.get("kernel_diagnostics", [])
+        ]
+        out.write(
+            "\n"
+            + straggler_report(tracer, metrics, diagnostics=kernel_diags)
+            + "\n"
+        )
+        out.write("\n" + insight_report(tracer) + "\n")
     if args.trace and tracer is not None:
         trace = write_chrome_trace(tracer, args.trace)
         out.write(

@@ -26,6 +26,15 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.insight import (
+    EpochAttribution,
+    Segment,
+    WorkerAttribution,
+    attribute_epochs,
+    insight_report,
+    paired_prediction,
+    prediction_error,
+)
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
@@ -35,6 +44,15 @@ from repro.obs.metrics import (
 )
 from repro.obs.observability import Observability
 from repro.obs.report import straggler_report, utilization_lines
+from repro.obs.runstore import (
+    RunRecord,
+    RunStore,
+    Verdict,
+    check_store,
+    compare_records,
+    loop_signature,
+    record_run,
+)
 from repro.obs.tracer import NULL_TRACER, Span, Tracer, wall_process
 
 __all__ = [
@@ -55,4 +73,18 @@ __all__ = [
     "add_traffic_spans",
     "straggler_report",
     "utilization_lines",
+    "Segment",
+    "WorkerAttribution",
+    "EpochAttribution",
+    "attribute_epochs",
+    "insight_report",
+    "paired_prediction",
+    "prediction_error",
+    "RunRecord",
+    "RunStore",
+    "Verdict",
+    "loop_signature",
+    "record_run",
+    "compare_records",
+    "check_store",
 ]

@@ -152,11 +152,13 @@ class MetricsRegistry:
             histogram = self._histograms[name] = Histogram(name)
         return histogram
 
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, Any]:
         """All current values as one JSON-safe dict.
 
         Counters and gauges map to their value; histograms map to their
-        ``summary()`` dict.  Names are sorted for stable output.
+        ``summary()`` dict.  Names are sorted for stable output; with
+        ``prefix`` only instruments whose name starts with it are
+        included (e.g. ``snapshot("sanitize_")``).
         """
         out: Dict[str, Any] = {}
         for name in sorted(self._counters):
@@ -165,6 +167,11 @@ class MetricsRegistry:
             out[name] = self._gauges[name].value
         for name in sorted(self._histograms):
             out[name] = self._histograms[name].summary()
+        if prefix is not None:
+            out = {
+                name: value for name, value in out.items()
+                if name.startswith(prefix)
+            }
         return out
 
 

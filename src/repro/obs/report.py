@@ -10,7 +10,7 @@ supplied its snapshot is appended.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Span, Tracer
@@ -63,12 +63,17 @@ def straggler_report(
     tracer: Tracer,
     metrics: Optional[MetricsRegistry] = None,
     top: int = 5,
+    diagnostics: Optional[Sequence[str]] = None,
 ) -> str:
     """Human-readable utilization + straggler summary of the whole trace.
 
     One section per traced process (engine): worker busy/idle fractions
     over that process's traced horizon, the ``top`` longest blocks
     (critical-path candidates), and the ``top`` slowest rotation hops.
+    ``diagnostics`` (rendered W-code strings, e.g. the kernel-synthesis
+    fallbacks W501–W503) are appended as their own section so a run's
+    report explains *why* it took the scalar path without a separate
+    ``repro lint`` invocation.
     """
     lines: List[str] = []
     processes = tracer.processes()
@@ -134,6 +139,12 @@ def straggler_report(
                     f"  [{span.t_start * 1e3:.3f} .. "
                     f"{span.t_end * 1e3:.3f} ms]"
                 )
+        lines.append("")
+    if diagnostics:
+        lines.append("== kernel-path diagnostics ==")
+        for diagnostic in diagnostics:
+            for part in str(diagnostic).splitlines():
+                lines.append(f"  {part}")
         lines.append("")
     if metrics is not None and metrics.enabled:
         lines.append("== metrics ==")

@@ -231,6 +231,17 @@ class Tracer:
                 seen.setdefault(span.track)
         return list(seen)
 
+    def epoch_spans(self, process: str) -> List[Span]:
+        """One process's ``epoch`` spans, in timeline order.
+
+        The entry point for trace consumers (:mod:`repro.obs.insight`):
+        epochs anchor attribution, and their count/durations are the
+        per-epoch timing series of a run."""
+        return sorted(
+            self.filter(cat="epoch", track="epochs", process=process),
+            key=lambda span: span.t_start,
+        )
+
     def busy_by_track(
         self, cat: str = "block", process: Optional[str] = None
     ) -> Dict[str, float]:

@@ -766,6 +766,20 @@ class MultiprocessRunner:
 
     # ---------------- observability -------------------------------------- #
 
+    def runner_meta(self) -> Dict[str, Any]:
+        """Topology facts for one run-store record (JSON-safe).
+
+        The multiprocess half of the ``LoopOptions.run_store`` emission
+        hook — pure introspection, safe before :meth:`_start`."""
+        return {
+            "free_running": self.free_running,
+            "token_kind": self._token_kind,
+            "token_depth": self._depth,
+            "sequential_steps": self._sequential_steps,
+            "num_workers": self.executor.num_workers,
+            "shared_nbytes": self.pool.nbytes,
+        }
+
     def _record_obs(
         self,
         epoch: int,
@@ -783,6 +797,13 @@ class MultiprocessRunner:
             tokens = sum(payload["tokens"] for payload in payloads)
             if tokens:
                 metrics.counter("rotation_tokens_total").inc(tokens)
+            waits = sum(
+                span[5]
+                for payload in payloads
+                for span in payload["timings"]
+            )
+            if waits > 0:
+                metrics.counter("token_wait_seconds_total").inc(waits)
         tracer = self.executor.tracer
         if not tracer.enabled:
             return

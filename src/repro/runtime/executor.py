@@ -553,6 +553,41 @@ class OrionExecutor:
         return self._rotated_bytes / self.num_time
 
     @property
+    def kernel_tier(self) -> str:
+        """Which update path blocks take, as a stable label.
+
+        ``"scalar"`` (no kernel, or the plan refuses batching),
+        ``"hand"`` (an app-registered kernel), or ``"synth:<tier>"``
+        (a synthesized kernel: ``synth:vector`` / ``synth:block-loop``).
+        Recorded in run-store records so cross-run comparisons can tell a
+        genuine regression from a path change.
+        """
+        if self.kernel is None or not self._kernel_supported:
+            return "scalar"
+        if self.synth is not None and self.synth.engaged:
+            return f"synth:{self.synth.tier}"
+        return "hand"
+
+    def run_summary(self) -> Dict[str, Any]:
+        """Plan/schedule facts for one run-store record (JSON-safe).
+
+        The emission hook behind ``LoopOptions.run_store`` — pure
+        introspection, no effect on execution."""
+        plan = self.plan
+        return {
+            "strategy": plan.strategy.name,
+            "ordered": bool(self.info.ordered),
+            "space_dim": plan.space_dim,
+            "time_dim": plan.time_dim,
+            "transformed": plan.transform is not None,
+            "num_workers": self.num_workers,
+            "num_time": self.num_time,
+            "num_steps": len(self.steps),
+            "kernel_tier": self.kernel_tier,
+            "uses_buffers": bool(self.info.buffers),
+        }
+
+    @property
     def kernel_path(self) -> bool:
         """Whether blocks execute through the batched-kernel fast path."""
         return self.kernel is not None and self._kernel_supported

@@ -84,6 +84,19 @@ class LoopOptions:
         checkpoint: a :class:`~repro.runtime.checkpoint.CheckpointConfig`
             making the loop checkpoint its mutated arrays every N epochs
             and recover from the latest complete tag after a crash.
+
+    Run persistence (see :mod:`repro.obs.runstore`):
+
+    Attributes:
+        run_store: where to persist one structured record per
+            :meth:`~repro.api.ParallelLoop.run` call — a
+            :class:`~repro.obs.runstore.RunStore`, a directory path, or
+            ``True`` for the default ``.repro_runs/``.  ``None``
+            (default) records nothing and leaves run results
+            bit-identical to unrecorded runs (the record is pure
+            introspection written after the pass completes).
+        run_label: label stored in the run records (defaults to
+            ``trace_process``).
     """
 
     ordered: bool = False
@@ -104,6 +117,8 @@ class LoopOptions:
     trace_process: str = "orion"
     faults: Optional[FaultPlan] = None
     checkpoint: Optional[CheckpointConfig] = None
+    run_store: Optional[Any] = None
+    run_label: Optional[str] = None
 
     def merged_with(self, **overrides: Any) -> "LoopOptions":
         """A copy with every non-``UNSET`` override applied."""

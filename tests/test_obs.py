@@ -434,3 +434,72 @@ class TestEndToEndTracing:
         )
         assert abs(traced_busy - reported_busy) < 1e-6
         assert validate_chrome_trace(to_chrome_trace(tracer)) == []
+
+
+class TestWallClockTraceRoundTrip:
+    """Chrome-trace export/validate round trip of real-clock (`@wall`)
+    spans produced by the multiprocess backend (satellite of the insight
+    layer: docs/observability.md, "Real-clock spans")."""
+
+    @pytest.fixture(scope="class")
+    def wall_tracer(self, mf_small):
+        from repro.apps import MFHyper, build_sgd_mf
+        from repro.runtime.cluster import ClusterSpec
+
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        cluster = ClusterSpec(num_machines=1, workers_per_machine=2)
+        program = build_sgd_mf(
+            mf_small, cluster=cluster, hyper=MFHyper(rank=4), seed=3,
+            tracer=tracer, metrics=metrics, backend="multiprocess",
+        )
+        try:
+            program.run(2)
+        finally:
+            program.close()
+        return tracer
+
+    def test_wall_process_records_epochs_and_blocks(self, wall_tracer):
+        from repro.obs import wall_process
+
+        wall = wall_process("orion")
+        assert wall in wall_tracer.processes()
+        epochs = wall_tracer.filter(
+            cat="epoch", track="epochs", process=wall
+        )
+        assert len(epochs) == 2
+        blocks = wall_tracer.filter(cat="block", process=wall)
+        assert blocks
+        # Real-clock blocks carry their schedule step and token wait.
+        for block in blocks:
+            assert "step" in block.args
+            assert block.args["token_wait_s"] >= 0.0
+
+    def test_export_validate_reload_round_trip(self, wall_tracer, tmp_path):
+        from repro.obs import wall_process
+
+        path = tmp_path / "wall_trace.json"
+        trace = write_chrome_trace(wall_tracer, str(path))
+        assert validate_chrome_trace(trace) == []
+
+        reloaded = json.loads(path.read_text())
+        assert validate_chrome_trace(reloaded) == []
+        assert len(reloaded["traceEvents"]) == len(trace["traceEvents"])
+
+        # The @wall process survives the round trip as its own Perfetto
+        # process, with every span's timing intact.
+        names = {
+            event["args"]["name"]
+            for event in reloaded["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "process_name"
+        }
+        assert wall_process("orion") in names
+        durations = sorted(
+            event["dur"] for event in reloaded["traceEvents"]
+            if event["ph"] == "X" and event["cat"] == "epoch"
+        )
+        original = sorted(
+            span.duration * 1e6
+            for span in wall_tracer.filter(cat="epoch")
+        )
+        assert durations == pytest.approx(original)
