@@ -2,8 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check compile test trace-smoke fault-smoke distributed-smoke \
-	lint-smoke sanitize-smoke synth-smoke perf-smoke bench-smoke \
-	bench-distributed clean
+	lint-smoke sanitize-smoke synth-smoke perf-smoke tune-smoke \
+	bench-smoke bench-distributed clean
 
 ## Default verification: imports compile, tier-1 tests pass, the tracing
 ## pipeline produces a loadable Perfetto trace end to end, the
@@ -13,9 +13,10 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 ## each parallelization strategy on both backends, kernel synthesis
 ## emits equivalence-checked kernels for the batchable apps, and
 ## `repro perf` regression detection passes clean seeded runs while
-## flagging an artificial slowdown.
+## flagging an artificial slowdown, and the adaptive tuner recovers a
+## deliberately mistuned pipeline depth.
 check: compile test trace-smoke fault-smoke distributed-smoke lint-smoke \
-	sanitize-smoke synth-smoke perf-smoke
+	sanitize-smoke synth-smoke perf-smoke tune-smoke
 
 compile:
 	$(PYTHON) -m compileall -q src
@@ -123,6 +124,20 @@ perf-smoke:
 	fi
 	rm -rf .repro_runs_smoke
 
+## Adaptive-tuner recovery end to end (see docs/tuning.md): SGD MF
+## deliberately mistuned to pipeline_depth=1 must converge to within 5%
+## of the best fixed depth by epoch 3 (exit 0 from `repro tune`), and a
+## follow-up `--mode cached` run against the same store must start at
+## the persisted winner from epoch 1.
+tune-smoke:
+	rm -rf .repro_tune_smoke
+	$(PYTHON) -m repro.cli tune mf --depth 1 --epochs 4 \
+		--store .repro_tune_smoke
+	$(PYTHON) -m repro.cli tune mf --depth 1 --epochs 3 \
+		--mode cached --store .repro_tune_smoke
+	rm -rf .repro_tune_smoke
+	@echo "tune-smoke ok"
+
 ## Wall-clock kernel-vs-scalar throughput; writes BENCH_wallclock.json.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_wallclock.py
@@ -134,4 +149,5 @@ bench-distributed:
 
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +
-	rm -rf .pytest_cache trace.json .repro_runs .repro_runs_smoke
+	rm -rf .pytest_cache trace.json .repro_runs .repro_runs_smoke \
+		.repro_tune_smoke

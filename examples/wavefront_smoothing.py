@@ -17,7 +17,7 @@ Run:  python examples/wavefront_smoothing.py
 
 import numpy as np
 
-from repro import ClusterSpec, OrionContext
+from repro import ClusterSpec, LoopOptions, OrionContext
 
 N = 24
 ctx = OrionContext(
@@ -43,7 +43,9 @@ def smooth(key, _value):
 
 
 # The dependences require lexicographic order: this loop is `ordered`.
-loop = ctx.parallel_for(cells, ordered=True, validate=True)(smooth)
+loop = ctx.parallel_for(
+    cells, options=LoopOptions(ordered=True, validate=True)
+)(smooth)
 print(loop.explain())
 
 loop.run(epochs=3)

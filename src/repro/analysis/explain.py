@@ -25,12 +25,17 @@ def _section(title: str, lines: List[str]) -> List[str]:
 
 
 def explain_plan(
-    info: LoopInfo, plan: Plan, synth: Optional["SynthResult"] = None
+    info: LoopInfo,
+    plan: Plan,
+    synth: Optional["SynthResult"] = None,
+    tuning: Optional[List[str]] = None,
 ) -> str:
     """Render the static parallelization of one loop as a report.
 
     ``synth`` (when kernel synthesis ran) appends a section with the
-    generated kernel source or the fallback explanation.
+    generated kernel source or the fallback explanation; ``tuning``
+    (the adaptive tuner's ``describe()`` lines, for tuned loops)
+    appends the Tuning section.
     """
     out: List[str] = []
 
@@ -109,6 +114,9 @@ def explain_plan(
     if synth is not None:
         lines = synth.describe().splitlines()
         out += _section("Kernel synthesis", lines)
+
+    if tuning is not None:
+        out += _section("Tuning", list(tuning))
 
     if info.diagnostics:
         lines = [diag.describe() for diag in info.diagnostics]

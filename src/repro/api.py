@@ -34,11 +34,13 @@ construction exactly once; each ``run()`` executes one pass.
 from __future__ import annotations
 
 import operator
+import warnings
 from dataclasses import replace
-from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 if TYPE_CHECKING:  # annotation-only: synth itself lazily imports the API
     from repro.analysis.synth import SynthResult
+    from repro.tuning import AdaptiveTuner
 
 from repro.analysis.lint import Diagnostic
 from repro.analysis.loop_info import LoopInfo, analyze_loop_body
@@ -97,6 +99,24 @@ class ParallelLoop:
                 "crashes; they are not supported on the multiprocess "
                 "backend (run them on backend='simulated')"
             )
+        #: The adaptive tuner (``tune="auto"|"cached"``); ``None`` keeps
+        #: the default path free of even the import.
+        self._tuner: Optional["AdaptiveTuner"] = None
+        if opts.tune != "off":
+            if opts.faults is not None or opts.checkpoint is not None:
+                from repro.errors import ExecutionError
+
+                raise ExecutionError(
+                    "adaptive tuning and fault injection both re-shape "
+                    "the epoch timeline; run them separately "
+                    "(tune='off' with faults, or drop the fault plan)"
+                )
+            from repro.tuning import AdaptiveTuner
+
+            self._tuner = AdaptiveTuner(self)
+            # Seeding happens before the backend exists (and before any
+            # partition has been used), so a cache hit costs nothing.
+            self._tuner.seed()
         #: The execution engine driving :meth:`run` — see
         #: :mod:`repro.runtime.backend`.
         self.backend: Backend = create_backend(self)
@@ -150,10 +170,19 @@ class ParallelLoop:
                 if self.ctx is not None:
                     self.ctx._absorb(result)
                 results.append(result)
+                if self._tuner is not None:
+                    cost = self._tuner.after_epoch(self._epoch, result)
+                    if cost > 0.0 and result.clock != "real":
+                        # Re-partitioning isn't free: the tuner's re-bin
+                        # + reshuffle lands on the virtual clock, right
+                        # after the epoch that motivated it.
+                        self.ctx.now += cost
         else:
             for _ in range(epochs):
                 self._epoch += 1
                 self._run_protected(self._epoch, results)
+        if self._tuner is not None:
+            self._tuner.finish()
         if self.options.run_store is not None:
             self._persist_run(results)
         return results
@@ -170,6 +199,34 @@ class ParallelLoop:
         store.append(
             record_run(self, results, label=self.options.run_label)
         )
+
+    def _apply_retune(self, **knobs: Any) -> float:
+        """Apply a legal knob change and invalidate backend state.
+
+        The executor validates legality (see
+        :meth:`~repro.runtime.executor.OrionExecutor.retunable`) and
+        returns the virtual seconds the change costs; the backend hook
+        lets engines holding state derived from the old tiling (the
+        multiprocess runner's forked partitions) rebuild it lazily.
+        """
+        cost = self.executor.retune(**knobs)
+        self.backend.on_retune()
+        return cost
+
+    def tuning(self) -> Optional["AdaptiveTuner"]:
+        """The loop's adaptive tuner, or ``None`` when ``tune="off"``.
+
+        Exposes the decision trail (``tuning().decisions``), the live
+        configuration (``tuning().current_config()``) and the JSON
+        summary recorded in run-store records (``tuning().summary()``).
+        """
+        return self._tuner
+
+    def run_summary(self) -> Dict[str, Any]:
+        """Plan/schedule introspection, including the requested vs.
+        resolved values of every tunable knob (``pipeline_depth="auto"``
+        reports both sides).  Same payload the run store records."""
+        return self.executor.run_summary()
 
     def close(self) -> None:
         """Release the backend's resources (worker processes, shared
@@ -212,11 +269,18 @@ class ParallelLoop:
 
         When kernel synthesis ran (``kernel="auto"``), the report also
         shows the outcome — the generated kernel source, or why synthesis
-        fell back to the scalar interpreter.
+        fell back to the scalar interpreter.  When the loop is tuned
+        (``tune="auto"|"cached"``), a Tuning section shows the cache
+        seed, the live configuration and the decision trail.
         """
         from repro.analysis.explain import explain_plan
 
-        return explain_plan(self.info, self.plan, synth=self.executor.synth)
+        return explain_plan(
+            self.info,
+            self.plan,
+            synth=self.executor.synth,
+            tuning=self._tuner.describe() if self._tuner else None,
+        )
 
     def synthesis(self) -> Optional["SynthResult"]:
         """The kernel-synthesis outcome, or ``None`` unless
@@ -408,63 +472,66 @@ class OrionContext:
         iteration space and builds the schedule — once.  The decorated name
         becomes a :class:`ParallelLoop`.
 
-        Configuration lives in :class:`~repro.runtime.options.LoopOptions`
-        (pass ``options=``); every historical keyword argument still works
-        and overrides the corresponding field, so the two forms mix —
-        see the ``LoopOptions`` docstring for the migration guide.  The
-        fault-injection knobs (``faults``, ``checkpoint``) exist *only* on
-        ``LoopOptions``.
+        Configuration is **options-first**: build a
+        :class:`~repro.runtime.options.LoopOptions` and pass it as
+        ``options=`` —
+
+        .. code-block:: python
+
+            loop = ctx.parallel_for(
+                ratings,
+                options=LoopOptions(pipeline_depth="auto", kernel="auto"),
+            )(body)
+
+        Every field is documented on ``LoopOptions`` itself; the knobs
+        that exist only there include fault injection (``faults`` /
+        ``checkpoint``), run recording (``run_store`` / ``run_label``)
+        and adaptive tuning (``tune="auto"|"cached"``, see
+        ``docs/tuning.md``).
+
+        .. deprecated::
+            The historical bare keyword arguments (``ordered=``,
+            ``pipeline_depth=``, ``prefetch=``, ... — everything except
+            ``options`` and ``obs``) still work and override the
+            corresponding ``LoopOptions`` field, but emit a
+            :class:`DeprecationWarning`; migrate to
+            ``options=LoopOptions(...)`` (or
+            ``options.merged_with(...)`` for call-site overrides).
 
         Args:
             iteration_space: materialized DistArray to iterate over.
-            ordered: enforce lexicographic iteration order (paper's
-                ``ordered`` argument; default relaxed).
-            force_dims: override the partitioning-dimension heuristic.
-            pipeline_depth: time partitions per worker for unordered 2D.
-            balance: histogram-balanced partitioning of skewed data.
-            validate: run the serializability validator every epoch (tests).
-            prefetch: ``"auto"`` or ``"none"`` (bulk prefetch of
-                server-array reads).
-            cache_prefetch: cache prefetch indices across epochs (default
-                on; pass ``False`` to model uncached prefetch requests).
-            concurrency: ``"serial"`` (deterministic linearization) or
-                ``"threads"`` (same-step blocks run on a thread pool).
-            backend: execution engine for :meth:`ParallelLoop.run` —
-                ``"simulated"`` (virtual-clock oracle, default),
-                ``"threaded"`` (promotes ``concurrency="threads"``), or
-                ``"multiprocess"`` (forked processes over shared-memory
-                partitions, real wall-clock results; see
-                :mod:`repro.runtime.backend`).
-            kernel: batched block kernel selection.  A callable
-                ``kernel(block_entries, kctx)`` registers a hand kernel
-                producing bit-identical state and accounting to the scalar
-                body (see :mod:`repro.runtime.kernels`); ``"auto"``
-                synthesizes one from the loop body
-                (:mod:`repro.analysis.synth`), falling back to the scalar
-                interpreter with a W50x diagnostic when the body is not
-                batchable; ``"off"``/``None`` forces the scalar path.
-                Either way the kernel only runs when the plan proves
-                whole-block batching legal.
-            equivalence_check: run the first kernel-eligible block through
-                both paths and fail loudly on any state or accounting
-                difference (tests; the block runs twice, so the body must
-                be RNG-free and apply UDFs must not hold external state).
-            sanitize: run the shadow-access race detector
-                (:mod:`repro.sanitizer`): record every actual DistArray
-                element access per iteration, cross-check the reported
-                dependence vectors / buffered-write exemptions / prefetch
-                footprint at each epoch boundary, and fail with the
-                offending iteration pair on any violation.  Forces scalar
-                execution; works on every backend.
-            tracer: per-loop tracer override (defaults to the context's).
-            metrics: per-loop metrics override (defaults to the context's).
-            trace_process: Perfetto process label for this loop's spans.
-            options: a :class:`~repro.runtime.options.LoopOptions` bundle;
-                explicitly passed keyword arguments override its fields.
+            options: the :class:`~repro.runtime.options.LoopOptions`
+                bundle carrying every knob.
             obs: per-loop :class:`~repro.obs.observability.Observability`
-                bundle (overridden component-wise by explicit ``tracer=`` /
-                ``metrics=``; defaults to the context's).
+                bundle (defaults to the context's).
         """
+        legacy = {
+            "ordered": ordered,
+            "force_dims": force_dims,
+            "pipeline_depth": pipeline_depth,
+            "balance": balance,
+            "validate": validate,
+            "prefetch": prefetch,
+            "cache_prefetch": cache_prefetch,
+            "concurrency": concurrency,
+            "backend": backend,
+            "kernel": kernel,
+            "equivalence_check": equivalence_check,
+            "sanitize": sanitize,
+            "tracer": tracer,
+            "metrics": metrics,
+            "trace_process": trace_process,
+        }
+        passed = [name for name, value in legacy.items() if value is not UNSET]
+        if passed:
+            warnings.warn(
+                "passing loop configuration to parallel_for as bare "
+                f"keyword arguments ({', '.join(passed)}) is deprecated; "
+                "pass options=LoopOptions(...) instead (see the "
+                "LoopOptions docstring for the migration guide)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         opts = (options if options is not None else LoopOptions()).merged_with(
             ordered=ordered,
             force_dims=force_dims,
@@ -488,6 +555,17 @@ class OrionContext:
         if final.backend == "threaded" and final.concurrency == "serial":
             # The threaded backend *is* the executor's thread-pool mode.
             final = replace(final, concurrency="threads")
+        if final.tune == "auto" and not final.obs.tracer.enabled:
+            # The tuner's model scan reads the epoch attribution, so an
+            # adapting loop needs a live tracer; attach a private one
+            # rather than fail (virtual-clock tracing never changes
+            # numerics or timing — it only records them).
+            final = replace(
+                final,
+                obs=Observability(
+                    tracer=Tracer(), metrics=final.obs.metrics
+                ),
+            )
 
         def decorate(body: Callable[..., Any]) -> ParallelLoop:
             info = analyze_loop_body(

@@ -24,7 +24,13 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.api import OrionContext
-from repro.apps.base import Entry, OrionProgram, SerialApp, resolve_kernel_option
+from repro.apps.base import (
+    Entry,
+    OrionProgram,
+    SerialApp,
+    resolve_kernel_option,
+    resolve_loop_options,
+)
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.simtime import CostModel
 
@@ -180,7 +186,8 @@ def build_orion_program(
         bc[key[1]] = bc[key[1]] - scale
 
     kernel_opt = loop_opts.pop("kernel", resolve_kernel_option(use_kernel))
-    loop = ctx.parallel_for(cooc, kernel=kernel_opt, **loop_opts)(body)
+    opts = resolve_loop_options(loop_opts).merged_with(kernel=kernel_opt)
+    loop = ctx.parallel_for(cooc, options=opts)(body)
 
     def loss_fn() -> float:
         return glove_loss(

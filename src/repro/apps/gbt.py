@@ -25,7 +25,11 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from repro.api import OrionContext
-from repro.apps.base import OrionProgram, resolve_kernel_option
+from repro.apps.base import (
+    OrionProgram,
+    resolve_kernel_option,
+    resolve_loop_options,
+)
 from repro.data.synthetic import TableDataset
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.simtime import CostModel
@@ -172,9 +176,10 @@ def build_orion_program(
         node_assign[key[0]] = 0.0
 
     kernel_opt = loop_opts.pop("kernel", resolve_kernel_option(use_kernel))
-    hist_loop = ctx.parallel_for(samples, kernel=kernel_opt, **loop_opts)(hist_body)
-    grow_loop = ctx.parallel_for(samples, kernel=kernel_opt, **loop_opts)(grow_body)
-    apply_loop = ctx.parallel_for(samples, kernel=kernel_opt, **loop_opts)(apply_body)
+    opts = resolve_loop_options(loop_opts).merged_with(kernel=kernel_opt)
+    hist_loop = ctx.parallel_for(samples, options=opts)(hist_body)
+    grow_loop = ctx.parallel_for(samples, options=opts)(grow_body)
+    apply_loop = ctx.parallel_for(samples, options=opts)(apply_body)
 
     def run_round():
         results = []

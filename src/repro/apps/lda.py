@@ -24,7 +24,13 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.api import OrionContext
-from repro.apps.base import Entry, OrionProgram, SerialApp, resolve_kernel_option
+from repro.apps.base import (
+    Entry,
+    OrionProgram,
+    SerialApp,
+    resolve_kernel_option,
+    resolve_loop_options,
+)
 from repro.data.synthetic import CorpusDataset
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.simtime import CostModel
@@ -418,11 +424,10 @@ def build_orion_program(
     kernel_opt = loop_opts.pop(
         "kernel", resolve_kernel_option(use_kernel, kernel)
     )
+    opts = resolve_loop_options(loop_opts)
     loop = ctx.parallel_for(
         corpus,
-        ordered=ordered,
-        kernel=kernel_opt,
-        **loop_opts,
+        options=opts.merged_with(ordered=ordered, kernel=kernel_opt),
     )(body)
 
     def loss_fn() -> float:

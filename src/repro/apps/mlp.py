@@ -21,7 +21,13 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.api import OrionContext
-from repro.apps.base import Entry, OrionProgram, SerialApp, resolve_kernel_option
+from repro.apps.base import (
+    Entry,
+    OrionProgram,
+    SerialApp,
+    resolve_kernel_option,
+    resolve_loop_options,
+)
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.simtime import CostModel
 
@@ -162,7 +168,8 @@ def build_orion_program(
         b2_buf[:] = -step * g_b2
 
     kernel_opt = loop_opts.pop("kernel", resolve_kernel_option(use_kernel))
-    loop = ctx.parallel_for(samples, kernel=kernel_opt, **loop_opts)(body)
+    opts = resolve_loop_options(loop_opts).merged_with(kernel=kernel_opt)
+    loop = ctx.parallel_for(samples, options=opts)(body)
 
     def loss_fn() -> float:
         total = 0.0

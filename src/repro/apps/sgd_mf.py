@@ -17,7 +17,13 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.api import OrionContext
-from repro.apps.base import Entry, OrionProgram, SerialApp, resolve_kernel_option
+from repro.apps.base import (
+    Entry,
+    OrionProgram,
+    SerialApp,
+    resolve_kernel_option,
+    resolve_loop_options,
+)
 from repro.data.synthetic import MFDataset
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.kernels import conflict_free_groups
@@ -260,11 +266,10 @@ def build_orion_program(
     kernel_opt = loop_opts.pop(
         "kernel", resolve_kernel_option(use_kernel, kernel)
     )
+    base_opts = resolve_loop_options(loop_opts)
     loop = ctx.parallel_for(
         ratings,
-        ordered=ordered,
-        kernel=kernel_opt,
-        **loop_opts,
+        options=base_opts.merged_with(ordered=ordered, kernel=kernel_opt),
     )(body)
     rows, cols, values = _index_arrays(dataset.entries)
 
@@ -275,7 +280,7 @@ def build_orion_program(
             prediction = W[:, key[0]] @ H[:, key[1]]
             err.add((rating - prediction) ** 2)
 
-        eval_loop = ctx.parallel_for(ratings, **loop_opts)(eval_body)
+        eval_loop = ctx.parallel_for(ratings, options=base_opts)(eval_body)
 
         def loss_fn() -> float:
             ctx.reset_accumulator("err")

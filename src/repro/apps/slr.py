@@ -22,7 +22,13 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from repro.api import OrionContext
-from repro.apps.base import Entry, OrionProgram, SerialApp, resolve_kernel_option
+from repro.apps.base import (
+    Entry,
+    OrionProgram,
+    SerialApp,
+    resolve_kernel_option,
+    resolve_loop_options,
+)
 from repro.data.synthetic import SLRDataset
 from repro.runtime.cluster import ClusterSpec
 from repro.runtime.simtime import CostModel
@@ -170,7 +176,8 @@ def build_orion_program(
     kernel_opt = loop_opts.pop(
         "kernel", resolve_kernel_option(use_kernel, kernel)
     )
-    loop = ctx.parallel_for(samples, kernel=kernel_opt, **loop_opts)(body)
+    opts = resolve_loop_options(loop_opts).merged_with(kernel=kernel_opt)
+    loop = ctx.parallel_for(samples, options=opts)(body)
 
     def loss_fn() -> float:
         return logistic_loss(weights.values, dataset.entries)

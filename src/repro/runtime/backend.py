@@ -61,6 +61,12 @@ class Backend:
     def close(self) -> None:
         """Release any resources (processes, pools, shared memory)."""
 
+    def on_retune(self) -> None:
+        """The executor's partitions/schedule changed between epochs
+        (adaptive tuning).  Backends holding state derived from them must
+        invalidate it here; the virtual-clock backends read the executor
+        directly every epoch, so the default is a no-op."""
+
 
 class SimulatedBackend(Backend):
     """The virtual-clock executor — a thin adapter, zero overhead."""
@@ -119,6 +125,14 @@ class MultiprocessBackend(Backend):
             self._runner.close()
             self._runner = None
         self._loop.executor.close()
+
+    def on_retune(self) -> None:
+        """Forked workers snapshot the executor's partitions at
+        construction, so a retune makes the runner stale: tear it down
+        and let the next epoch fork a fresh one from the new tiling."""
+        if self._runner is not None:
+            self._runner.close()
+            self._runner = None
 
 
 def create_backend(loop: "ParallelLoop") -> Backend:

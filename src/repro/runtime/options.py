@@ -1,19 +1,19 @@
 """LoopOptions: the consolidated configuration of one parallel for-loop.
 
-``OrionContext.parallel_for`` historically grew 14 keyword arguments; this
-dataclass is their single home (plus the fault-injection knobs, which
-exist *only* here).  Both forms work, and mix::
+``OrionContext.parallel_for`` historically grew 16 keyword arguments; this
+dataclass is their single home (plus the fault-injection and tuning knobs,
+which exist *only* here).  The options-first form is the documented one::
 
     loop = ctx.parallel_for(data, options=LoopOptions(ordered=True))(body)
-    loop = ctx.parallel_for(data, ordered=True)(body)              # legacy
-    loop = ctx.parallel_for(
-        data, options=LoopOptions(ordered=True), validate=True     # merged
-    )(body)
 
-When both are given, explicitly passed legacy kwargs override the
-corresponding ``LoopOptions`` field (``dataclasses.replace`` semantics) —
-so call sites migrate field by field with no ``DeprecationWarning`` and no
-behavior cliff.  See ``docs/fault_tolerance.md`` for the migration guide.
+The bare legacy kwargs still work and override the corresponding
+``LoopOptions`` field (``dataclasses.replace`` semantics), but they now
+emit a :class:`DeprecationWarning`::
+
+    loop = ctx.parallel_for(data, ordered=True)(body)   # deprecated form
+
+See ``docs/api.md`` for the migration guide and ``docs/tuning.md`` for the
+auto-tuner the ``tune`` knob enables.
 """
 
 from __future__ import annotations
@@ -42,7 +42,11 @@ class LoopOptions:
     Attributes:
         ordered: enforce lexicographic iteration order.
         force_dims: override the partitioning-dimension heuristic.
-        pipeline_depth: time partitions per worker for unordered 2D.
+        pipeline_depth: time partitions per worker for unordered 2D — an
+            ``int``, or ``"auto"`` to take the heuristic default (the
+            paper's Fig. 8 depth of 2) while marking the knob tunable.
+            The executor's ``run_summary()["resolved"]`` reports the
+            value actually used, so ``"auto"`` stays introspectable.
         balance: histogram-balanced partitioning of skewed data.
         validate: run the serializability validator every epoch.
         prefetch: ``"auto"`` or ``"none"``.
@@ -97,11 +101,25 @@ class LoopOptions:
             introspection written after the pass completes).
         run_label: label stored in the run records (defaults to
             ``trace_process``).
+
+    Adaptive tuning (see :mod:`repro.tuning` and ``docs/tuning.md``):
+
+    Attributes:
+        tune: ``"off"`` (default) — no tuner; the run is bit-identical to
+            pre-tuner builds and :mod:`repro.tuning` is not even imported.
+            ``"auto"`` — an :class:`~repro.tuning.AdaptiveTuner` consumes
+            each traced epoch's attribution and re-chooses the legally
+            tunable knobs (pipeline depth, prefetch policy) for the next
+            epoch, charging re-partitioning to the virtual clock; winning
+            configurations persist to a cross-run cache that seeds future
+            runs.  ``"cached"`` — seed from the cache only (read-only, no
+            mid-run adaptation, no cache writes).  Mutually exclusive
+            with ``faults`` / ``checkpoint``.
     """
 
     ordered: bool = False
     force_dims: Optional[Tuple[int, ...]] = None
-    pipeline_depth: int = 2
+    pipeline_depth: Union[int, str] = 2
     balance: bool = True
     validate: bool = False
     prefetch: str = "auto"
@@ -119,6 +137,7 @@ class LoopOptions:
     checkpoint: Optional[CheckpointConfig] = None
     run_store: Optional[Any] = None
     run_label: Optional[str] = None
+    tune: str = "off"
 
     def merged_with(self, **overrides: Any) -> "LoopOptions":
         """A copy with every non-``UNSET`` override applied."""

@@ -30,6 +30,8 @@ __all__ = [
     "partition_1d",
     "partition_2d",
     "partition_transformed",
+    "retile_time_2d",
+    "sort_blocks_by_dim",
 ]
 
 #: Half-open ``(lo, hi)`` coordinate ranges, one per partition.
@@ -199,6 +201,72 @@ def partition_2d(
         space_idx = int(np.searchsorted(space_uppers, key[space_dim], side="right"))
         time_idx = int(np.searchsorted(time_uppers, key[time_dim], side="right"))
         partitions.blocks.setdefault((space_idx, time_idx), []).append((key, value))
+    return partitions
+
+
+def sort_blocks_by_dim(partitions: IterationPartitions, dim: int) -> None:
+    """Stably sort every block's entries by one iteration-space dimension.
+
+    The unordered-2D canonical order: with each block's entries sorted by
+    the *time* coordinate (stable, so same-coordinate entries keep their
+    dataset order), a worker's rotation over any time tiling concatenates
+    to the same per-worker entry sequence — coarse bins traversed whole
+    equal their fine sub-bins traversed in rotation order.  That is the
+    invariant that makes a mid-run pipeline-depth change bit-identical
+    (see :func:`retile_time_2d`); it must therefore hold from the *first*
+    epoch, not just after a re-tile.
+    """
+    for entries in partitions.blocks.values():
+        entries.sort(key=lambda entry: entry[0][dim])
+
+
+def retile_time_2d(
+    entries: Sequence[Entry],
+    space_dim: int,
+    time_dim: int,
+    time_extent: int,
+    space_bounds: Optional[Bounds],
+    num_time: int,
+    balance: bool = True,
+) -> IterationPartitions:
+    """Re-cut only the *time* dimension of an existing 2D partitioning.
+
+    The adaptive tuner's legal re-tiling primitive (``docs/tuning.md``):
+    the given ``space_bounds`` are reused verbatim — never recomputed —
+    so every entry provably stays on the worker that owned it before, and
+    blocks hold the canonical time-sorted entry order
+    (:func:`sort_blocks_by_dim`), so each worker's rotation concatenates
+    to the same per-worker entry sequence at every depth.  Changing
+    ``num_time`` therefore changes scheduling granularity without
+    changing the execution linearization, which is what keeps results
+    bit-identical across pipeline depths (the executor additionally
+    verifies that the worker-start time cuts nest before committing a
+    re-tile).
+    """
+    if space_bounds is None:
+        raise PartitionError(
+            "retile_time_2d needs the existing space bounds "
+            "(equal/balanced cuts from the original partitioning)"
+        )
+    if balance:
+        time_bounds = balanced_bounds(
+            _histogram(entries, time_dim, time_extent), num_time
+        )
+    else:
+        time_bounds = equal_bounds(time_extent, num_time)
+    space_uppers = np.array([hi for _lo, hi in space_bounds])
+    time_uppers = np.array([hi for _lo, hi in time_bounds])
+    partitions = IterationPartitions(
+        num_space=len(space_bounds),
+        num_time=num_time,
+        space_bounds=list(space_bounds),
+        time_bounds=time_bounds,
+    )
+    for key, value in entries:
+        space_idx = int(np.searchsorted(space_uppers, key[space_dim], side="right"))
+        time_idx = int(np.searchsorted(time_uppers, key[time_dim], side="right"))
+        partitions.blocks.setdefault((space_idx, time_idx), []).append((key, value))
+    sort_blocks_by_dim(partitions, time_dim)
     return partitions
 
 

@@ -1,0 +1,39 @@
+"""Trace-driven adaptive auto-tuning (``LoopOptions.tune``).
+
+The tuner closes the observe->decide->act loop over the runtime's
+tunable-but-legal knobs: it consumes each traced epoch's exact time
+attribution (:mod:`repro.obs.insight`), re-predicts the makespan at
+every legal pipeline depth through the schedule's own timing model, and
+applies winning configurations to the next epoch — never touching the
+dependence-driven strategy or anything else that would move entry
+ownership.  A cross-run cache keyed by the run store's loop signature
+persists winners so future runs start tuned.
+
+This package is imported only when a loop opts in
+(``tune="auto"|"cached"``); the default ``tune="off"`` path never loads
+it and is bit-identical to pre-tuner behavior.
+"""
+
+from repro.tuning.cache import (
+    CACHE_FILENAME,
+    TUNED_KNOBS,
+    TuningCache,
+    tuning_signature,
+)
+from repro.tuning.tuner import (
+    MIN_PREDICTED_GAIN,
+    MIN_PREFETCH_GAIN,
+    AdaptiveTuner,
+    TuningDecision,
+)
+
+__all__ = [
+    "CACHE_FILENAME",
+    "TUNED_KNOBS",
+    "MIN_PREDICTED_GAIN",
+    "MIN_PREFETCH_GAIN",
+    "AdaptiveTuner",
+    "TuningCache",
+    "TuningDecision",
+    "tuning_signature",
+]

@@ -1,0 +1,112 @@
+"""Cross-run tuning cache: winning knob configurations by loop signature.
+
+One JSON file (``tuning.json``) next to the run store's ``runs.jsonl``:
+a mapping from *tuning signature* — the run store's loop signature minus
+the tunable knobs themselves — to the best configuration a tuned run
+measured for that loop.  ``tune="auto"`` runs write their winner at the
+end of each ``run()`` call and seed from a hit on the next construction;
+``tune="cached"`` runs seed read-only.
+
+The file is human-readable on purpose (the cache is a record of learned
+decisions, not an opaque artifact) and written atomically via a temp-file
+rename so concurrent runs can't interleave partial JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["CACHE_FILENAME", "TuningCache", "tuning_signature", "TUNED_KNOBS"]
+
+CACHE_FILENAME = "tuning.json"
+
+#: The knobs the tuner owns — excluded from the cache key so one run's
+#: winner is visible to runs starting from any other setting of them.
+TUNED_KNOBS = ("pipeline_depth", "prefetch", "cache_prefetch")
+
+
+def tuning_signature(loop: Any) -> str:
+    """Cache key for one compiled loop: the run store's loop signature
+    with the tunable knobs excluded.
+
+    A loop mistuned to ``pipeline_depth=1`` and the same loop hand-tuned
+    to depth 3 therefore share a key — which is the whole point: the
+    mistuned run must find the hand-tuned run's entry."""
+    from repro.obs.runstore import loop_signature
+
+    return loop_signature(loop, exclude=TUNED_KNOBS)
+
+
+class TuningCache:
+    """JSON-backed map of tuning signature -> winning configuration."""
+
+    def __init__(self, root: Union[str, Path] = ".repro_runs") -> None:
+        self.root = Path(root)
+
+    @property
+    def path(self) -> Path:
+        return self.root / CACHE_FILENAME
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """The whole cache (empty on a missing or corrupt file — a bad
+        cache only costs a cold start, never a failed run)."""
+        try:
+            with self.path.open() as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        entries = payload.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def get(self, signature: str) -> Optional[Dict[str, Any]]:
+        """The cached entry for one loop, or ``None`` on a miss.
+
+        Entries carry ``config`` (the knob dict to seed), the
+        ``epoch_time_s`` that config measured, and bookkeeping fields."""
+        return self.load().get(signature)
+
+    def put(
+        self,
+        signature: str,
+        config: Dict[str, Any],
+        epoch_time_s: float,
+        clock: str = "virtual",
+        label: str = "",
+    ) -> None:
+        """Record one loop's winning configuration (read-modify-write)."""
+        entries = self.load()
+        previous = entries.get(signature, {})
+        entries[signature] = {
+            "config": dict(config),
+            "epoch_time_s": float(epoch_time_s),
+            "clock": clock,
+            "label": label,
+            "runs": int(previous.get("runs", 0)) + 1,
+            "updated_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with tmp.open("w") as handle:
+            json.dump({"version": 1, "entries": entries}, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, self.path)
+
+    @classmethod
+    def resolve(cls, run_store: Any) -> "TuningCache":
+        """The cache co-located with a loop's run store.
+
+        ``run_store`` is the raw ``LoopOptions.run_store`` value (a
+        ``RunStore``, a path, ``True`` for the default root, or ``None``
+        — which also means the default root: tuning without run
+        recording still needs somewhere to persist its winners)."""
+        if run_store is None:
+            return cls()
+        from repro.obs.runstore import RunStore
+
+        return cls(RunStore.resolve(run_store).root)

@@ -1,0 +1,573 @@
+"""The adaptive tuner: observe -> decide -> act, between epochs.
+
+:class:`AdaptiveTuner` closes the loop the insight layer opened.  After
+each traced epoch it consumes the exact time attribution
+(:func:`repro.obs.insight.attribute_epochs`) plus the what-if estimates,
+re-predicts the epoch makespan at every legal pipeline depth through the
+very timing model the simulator charges
+(:func:`repro.runtime.schedule.scan_unordered_depths`), and applies the
+winning knobs to the *next* epoch via the executor's legality-checked
+:meth:`~repro.runtime.executor.OrionExecutor.retune`.  Every change it
+makes is one the plan proves result-preserving — the dependence-driven
+strategy, partition dimensions and balancing are never touched — so a
+tuned run's numerics are bit-identical to the untuned run; only the
+clock moves.
+
+Decision procedure on the virtual clock (deterministic — same traces,
+same decisions):
+
+1. **Epoch 1** runs at the starting depth ``d0`` (cache-seeded when a
+   prior run learned this loop).  Its attribution is split into
+   *tileable* seconds (compute/prefetch/flush/marshalling, which shrink
+   per block as blocks get finer) and *per-block* seconds
+   (message-setup CPU, charged once per block regardless of size); the
+   model scan re-tiles those across candidate depths and jumps straight
+   to the predicted argmin ``d*`` when it beats ``d0`` by at least
+   :data:`MIN_PREDICTED_GAIN`.  Free knobs are fixed in the same pass:
+   index caching always on, bulk prefetch on when the what-if shows the
+   round trips cost more than :data:`MIN_PREFETCH_GAIN`.
+2. **Epoch 2** measures ``d*``.  Better than the measured baseline:
+   lock it in.  Worse (the model was wrong): revert to ``d0`` and lock.
+
+Either way the configuration is final by epoch 3 — the tuner performs at
+most two depth changes, each charged to the virtual clock as one re-bin
+pass plus one rotated-array reshuffle.
+
+On the real clock (multiprocess backend) there is no trustworthy
+per-phase attribution to feed the model, so the tuner falls back to a
+single hill-climb step: try the heuristic depth once, keep whichever
+measured faster.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime import schedule as sched
+from repro.runtime.executor import AUTO_PIPELINE_DEPTH
+from repro.tuning.cache import TuningCache, tuning_signature
+
+__all__ = [
+    "MIN_PREDICTED_GAIN",
+    "MIN_PREFETCH_GAIN",
+    "TuningDecision",
+    "AdaptiveTuner",
+]
+
+#: Fractional predicted improvement required before the tuner moves the
+#: pipeline depth — below this the reshuffle cost isn't worth the churn.
+MIN_PREDICTED_GAIN = 0.02
+
+#: Fractional what-if gain required before bulk prefetch is switched on.
+MIN_PREFETCH_GAIN = 0.05
+
+#: Candidate depths beyond this are thinned to powers of two (the scan
+#: re-times every candidate; very deep pipelines only ever lose to
+#: per-block overhead, so dense scanning out there buys nothing).
+_DENSE_SCAN_LIMIT = 16
+
+#: How many predicted-better depths to attempt re-tiling before giving
+#: up (each refused attempt cost one discarded re-bin).
+_MAX_RETILE_ATTEMPTS = 4
+
+
+@dataclass
+class TuningDecision:
+    """One observe->decide->act step, applied or declined."""
+
+    epoch: int
+    knob: str
+    old: Any
+    new: Any
+    reason: str
+    #: Virtual seconds the change cost (re-bin + reshuffle; 0 for free
+    #: knobs and declined decisions).
+    cost_s: float = 0.0
+    #: The model's predicted epoch seconds at the new value, when a scan
+    #: drove the decision.
+    predicted_s: Optional[float] = None
+    applied: bool = True
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "knob": self.knob,
+            "old": self.old,
+            "new": self.new,
+            "reason": self.reason,
+            "cost_s": self.cost_s,
+            "predicted_s": self.predicted_s,
+            "applied": self.applied,
+        }
+
+
+def _scan_depths(max_depth: int) -> List[int]:
+    """Candidate depths: dense up to :data:`_DENSE_SCAN_LIMIT`, then
+    powers of two, always including the maximum."""
+    depths = set(range(1, min(max_depth, _DENSE_SCAN_LIMIT) + 1))
+    power = 2
+    while power <= max_depth:
+        depths.add(power)
+        power *= 2
+    depths.add(max_depth)
+    return sorted(depths)
+
+
+class AdaptiveTuner:
+    """Per-loop adaptive tuner (``LoopOptions.tune="auto"|"cached"``).
+
+    Owned by :class:`~repro.api.ParallelLoop`; never constructed when
+    ``tune="off"`` (that path does not even import this package).
+    """
+
+    def __init__(self, loop: Any) -> None:
+        self.loop = loop
+        self.mode: str = loop.options.tune
+        self.cache = TuningCache.resolve(loop.options.run_store)
+        self.signature = tuning_signature(loop)
+        self.decisions: List[TuningDecision] = []
+        #: The cache entry's config applied at construction (None on a
+        #: cold start or when clamping rejected every cached knob).
+        self.seeded: Optional[Dict[str, Any]] = None
+        #: ``measure`` -> ``verify`` -> ``locked``.
+        self._state = "measure" if self.mode == "auto" else "locked"
+        self._baseline_depth: Optional[int] = None
+        self._baseline_time: Optional[float] = None
+        self._predictions: Dict[int, float] = {}
+        #: Best measured (epoch seconds, config) — what ``finish`` caches.
+        self._best: Optional[Tuple[float, Dict[str, Any]]] = None
+
+    # ---------------- observe helpers ---------------------------------- #
+
+    def current_config(self) -> Dict[str, Any]:
+        """The executor's live values of the tuned knobs."""
+        executor = self.loop.executor
+        return {
+            "pipeline_depth": int(executor.pipeline_depth),
+            "prefetch": executor.prefetch_mode,
+            "cache_prefetch": bool(executor.cache_prefetch),
+        }
+
+    def _last_attribution(self):
+        """Exact attribution of the newest traced epoch, or ``None``."""
+        from repro.obs.insight import attribute_epochs
+
+        executor = self.loop.executor
+        if not executor.tracer.enabled:
+            return None
+        attributions = attribute_epochs(
+            executor.tracer, executor.trace_process
+        )
+        return attributions[-1] if attributions else None
+
+    def _scan_signals(
+        self, attribution: Any
+    ) -> Tuple[List[float], List[float]]:
+        """Split each worker's measured busy time into the scan's two
+        inputs: seconds that re-tile with the blocks and seconds charged
+        per block.
+
+        Marshalling is the subtlety: the executor charges it inside the
+        ``overhead`` phase, but it is proportional to the block's bytes —
+        per worker it totals ``marshalling_s_per_byte * rotated_bytes``
+        at *every* depth — so it belongs with the tileable work, not the
+        per-block setup cost.
+        """
+        executor = self.loop.executor
+        marshalling_total = (
+            executor.cluster.cost.marshalling_s_per_byte
+            * executor.rotated_bytes_total
+        )
+        num_time = max(1, executor.num_time)
+        tileable: List[float] = []
+        per_block: List[float] = []
+        for track in sorted(attribution.workers):
+            worker = attribution.workers[track]
+            overhead = worker.seconds_by_category().get("overhead", 0.0)
+            busy = worker.busy_seconds()
+            per_block.append(
+                max(0.0, overhead - marshalling_total) / num_time
+            )
+            tileable.append(busy - overhead + marshalling_total)
+        return tileable, per_block
+
+    # ---------------- act ---------------------------------------------- #
+
+    def _apply(self, epoch: int, changes: Dict[str, TuningDecision]) -> float:
+        """Apply a batch of knob changes through the loop (one retune,
+        one backend invalidation) and record the decisions."""
+        from repro.errors import ExecutionError, PartitionError
+
+        knobs = {
+            knob: decision.new for knob, decision in changes.items()
+        }
+        try:
+            cost = self.loop._apply_retune(**knobs)
+        except (ExecutionError, PartitionError) as error:
+            # A refused retune (e.g. degenerate skew breaks cut nesting)
+            # is a decision outcome, not a crash: record it and let the
+            # caller fall back (to the next candidate, or to staying put).
+            for decision in changes.values():
+                decision.applied = False
+                decision.reason += f"; refused: {error}"
+                self.decisions.append(decision)
+            return 0.0
+        charged = False
+        for knob, decision in changes.items():
+            if knob == "pipeline_depth" and not charged:
+                decision.cost_s = cost
+                charged = True
+            self.decisions.append(decision)
+        if cost > 0.0 or changes:
+            executor = self.loop.executor
+            now = self.loop.ctx.now
+            executor.tracer.add_span(
+                "retune",
+                "tuning",
+                now,
+                now + cost,
+                track="tuning",
+                process=executor.trace_process,
+                args={
+                    "epoch": epoch,
+                    "knobs": {k: d.new for k, d in changes.items()},
+                },
+            )
+            metrics = executor.metrics
+            metrics.counter("tuning_decisions_total").inc(len(changes))
+            metrics.counter("tuning_retune_seconds_total").inc(cost)
+        return cost
+
+    # ---------------- lifecycle ---------------------------------------- #
+
+    def seed(self) -> None:
+        """Apply a cached winning configuration before the first epoch.
+
+        Runs at loop construction, before any partition has been used, so
+        nothing is charged to the clock.  Cached knobs that this plan
+        refuses (the cache key ignores tunable knobs, but legality is
+        per-plan) are clamped away rather than erroring — a stale cache
+        must never fail a run.
+        """
+        entry = self.cache.get(self.signature)
+        if not entry:
+            return
+        config = entry.get("config") or {}
+        allowed = self.loop.executor.retunable()["knobs"]
+        legal: Dict[str, Any] = {}
+        if "pipeline_depth" in config and "pipeline_depth" in allowed:
+            low, high = allowed["pipeline_depth"]
+            legal["pipeline_depth"] = max(
+                low, min(int(config["pipeline_depth"]), high)
+            )
+        if "prefetch" in config and config.get("prefetch") in allowed.get(
+            "prefetch", ()
+        ):
+            legal["prefetch"] = config["prefetch"]
+        if "cache_prefetch" in config:
+            legal["cache_prefetch"] = bool(config["cache_prefetch"])
+        if not legal:
+            return
+        from repro.errors import ExecutionError, PartitionError
+
+        before = self.current_config()
+        try:
+            self.loop.executor.retune(**legal)
+        except (ExecutionError, PartitionError):
+            return
+        self.seeded = dict(legal)
+        for knob, value in sorted(legal.items()):
+            if before.get(knob) == value:
+                continue
+            self.decisions.append(
+                TuningDecision(
+                    epoch=0,
+                    knob=knob,
+                    old=before.get(knob),
+                    new=value,
+                    reason=(
+                        "seeded from the tuning cache "
+                        f"({entry.get('epoch_time_s', 0.0):.6f} s/epoch "
+                        "measured previously)"
+                    ),
+                )
+            )
+
+    def after_epoch(self, epoch: int, result: Any) -> float:
+        """Consume one finished epoch; returns virtual seconds to charge.
+
+        The returned cost is the re-partitioning work of any applied
+        depth change (0 when nothing changed); the caller advances the
+        virtual clock by it so tuned makespans stay honest.
+        """
+        measured = float(result.epoch_time_s)
+        config = self.current_config()
+        if self._best is None or measured < self._best[0]:
+            self._best = (measured, config)
+        if self.mode != "auto" or self._state == "locked":
+            return 0.0
+        if getattr(result, "fault", None) is not None:
+            # An aborted pass measures the fault, not the configuration.
+            return 0.0
+        if result.clock == "real":
+            return self._after_epoch_real(epoch, measured, config)
+        return self._after_epoch_virtual(epoch, measured, config)
+
+    def _after_epoch_virtual(
+        self, epoch: int, measured: float, config: Dict[str, Any]
+    ) -> float:
+        executor = self.loop.executor
+        changes: Dict[str, TuningDecision] = {}
+        if self._state == "verify":
+            assert self._baseline_time is not None
+            if measured > self._baseline_time:
+                changes["pipeline_depth"] = TuningDecision(
+                    epoch=epoch,
+                    knob="pipeline_depth",
+                    old=config["pipeline_depth"],
+                    new=self._baseline_depth,
+                    reason=(
+                        f"revert: measured {measured:.6f} s is slower "
+                        f"than the baseline {self._baseline_time:.6f} s"
+                    ),
+                )
+            self._state = "locked"
+            return self._apply(epoch, changes) if changes else 0.0
+
+        # ---- state == "measure": the first clean epoch at d0 ---------- #
+        self._baseline_depth = config["pipeline_depth"]
+        self._baseline_time = measured
+        allowed = executor.retunable()["knobs"]
+        attribution = self._last_attribution()
+
+        # Free knobs first: they never cost clock time and the depth
+        # scan's measured signals already include their current policy.
+        if (
+            "prefetch" in allowed
+            and config["prefetch"] == "none"
+            and attribution is not None
+        ):
+            what_if = attribution.what_if()
+            actual = what_if.get("actual", 0.0)
+            overlap = what_if.get("perfect_prefetch", actual)
+            if actual > 0 and (actual - overlap) / actual > MIN_PREFETCH_GAIN:
+                changes["prefetch"] = TuningDecision(
+                    epoch=epoch,
+                    knob="prefetch",
+                    old="none",
+                    new="auto",
+                    reason=(
+                        "what-if: perfect prefetch overlap saves "
+                        f"{100.0 * (actual - overlap) / actual:.1f}% "
+                        "of the epoch"
+                    ),
+                )
+        prefetch_mode = (
+            changes["prefetch"].new if "prefetch" in changes
+            else config["prefetch"]
+        )
+        if not config["cache_prefetch"] and prefetch_mode == "auto":
+            changes["cache_prefetch"] = TuningDecision(
+                epoch=epoch,
+                knob="cache_prefetch",
+                old=False,
+                new=True,
+                reason=(
+                    "index caching strictly dominates re-deriving the "
+                    "prefetch set every epoch (the paper's 9.2s->6.3s "
+                    "step)"
+                ),
+            )
+
+        # Depth: re-predict every legal depth through the schedule model.
+        depth_bounds = allowed.get("pipeline_depth")
+        if depth_bounds is None or attribution is None:
+            self._state = "locked"
+            if depth_bounds is None:
+                self.decisions.append(
+                    TuningDecision(
+                        epoch=epoch,
+                        knob="pipeline_depth",
+                        old=config["pipeline_depth"],
+                        new=config["pipeline_depth"],
+                        reason=executor.retunable()["refused"].get(
+                            "pipeline_depth", "not retunable for this plan"
+                        ),
+                        applied=False,
+                    )
+                )
+            return self._apply(epoch, changes) if changes else 0.0
+
+        cost = self._apply(epoch, changes) if changes else 0.0
+
+        tileable, per_block = self._scan_signals(attribution)
+        self._predictions = sched.scan_unordered_depths(
+            tileable,
+            per_block,
+            executor.cluster,
+            executor.rotated_bytes_total,
+            _scan_depths(depth_bounds[1]),
+        )
+        d0 = config["pipeline_depth"]
+        base_prediction = self._predictions.get(d0, measured)
+        candidates = sorted(
+            (
+                depth for depth, seconds in self._predictions.items()
+                if depth != d0
+                and base_prediction > 0
+                and (base_prediction - seconds) / base_prediction
+                >= MIN_PREDICTED_GAIN
+            ),
+            key=lambda depth: (self._predictions[depth], depth),
+        )
+        # Best predicted first; a refused re-tile (degenerate cuts at
+        # that granularity) falls through to the next-best candidate.
+        for depth in candidates[:_MAX_RETILE_ATTEMPTS]:
+            predicted = self._predictions[depth]
+            gain = (base_prediction - predicted) / base_prediction
+            decision = TuningDecision(
+                epoch=epoch,
+                knob="pipeline_depth",
+                old=d0,
+                new=depth,
+                reason=(
+                    f"model scan: depth {depth} predicts "
+                    f"{predicted:.6f} s/epoch vs {base_prediction:.6f} s "
+                    f"at depth {d0} ({100.0 * gain:.1f}% better)"
+                ),
+                predicted_s=predicted,
+            )
+            cost += self._apply(epoch, {"pipeline_depth": decision})
+            if decision.applied:
+                self._state = "verify"
+                return cost
+        self.decisions.append(
+            TuningDecision(
+                epoch=epoch,
+                knob="pipeline_depth",
+                old=d0,
+                new=d0,
+                reason=(
+                    f"model scan keeps depth {d0}: no retileable "
+                    f"candidate beats it by "
+                    f"{100.0 * MIN_PREDICTED_GAIN:.0f}%"
+                ),
+                predicted_s=base_prediction,
+                applied=False,
+            )
+        )
+        self._state = "locked"
+        return cost
+
+    def _after_epoch_real(
+        self, epoch: int, measured: float, config: Dict[str, Any]
+    ) -> float:
+        """One hill-climb step on measured wall seconds (no phase
+        attribution to feed the model on the real clock)."""
+        executor = self.loop.executor
+        allowed = executor.retunable()["knobs"]
+        depth_bounds = allowed.get("pipeline_depth")
+        if self._state == "verify":
+            assert self._baseline_time is not None
+            changes: Dict[str, TuningDecision] = {}
+            if measured > self._baseline_time:
+                changes["pipeline_depth"] = TuningDecision(
+                    epoch=epoch,
+                    knob="pipeline_depth",
+                    old=config["pipeline_depth"],
+                    new=self._baseline_depth,
+                    reason=(
+                        f"revert: {measured:.4f} s measured vs "
+                        f"{self._baseline_time:.4f} s baseline"
+                    ),
+                )
+            self._state = "locked"
+            return self._apply(epoch, changes) if changes else 0.0
+        self._baseline_depth = config["pipeline_depth"]
+        self._baseline_time = measured
+        if depth_bounds is None:
+            self._state = "locked"
+            return 0.0
+        candidate = max(
+            depth_bounds[0],
+            min(
+                AUTO_PIPELINE_DEPTH
+                if config["pipeline_depth"] == 1
+                else config["pipeline_depth"] - 1,
+                depth_bounds[1],
+            ),
+        )
+        if candidate == config["pipeline_depth"]:
+            self._state = "locked"
+            return 0.0
+        decision = TuningDecision(
+            epoch=epoch,
+            knob="pipeline_depth",
+            old=config["pipeline_depth"],
+            new=candidate,
+            reason=(
+                f"hill-climb: try depth {candidate} for one measured "
+                "epoch (real clock, no model attribution)"
+            ),
+        )
+        self._state = "verify"
+        return self._apply(epoch, {"pipeline_depth": decision})
+
+    def finish(self) -> None:
+        """Persist the best *measured* configuration (``"auto"`` only)."""
+        if self.mode != "auto" or self._best is None:
+            return
+        best_time, best_config = self._best
+        previous = self.cache.get(self.signature)
+        if previous and previous.get("config") == best_config and not (
+            best_time < float(previous.get("epoch_time_s", math.inf))
+        ):
+            return
+        self.cache.put(
+            self.signature,
+            best_config,
+            best_time,
+            clock=self.loop.executor.options.backend == "multiprocess"
+            and "real" or "virtual",
+            label=self.loop.options.run_label or "",
+        )
+
+    # ---------------- reporting ---------------------------------------- #
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe record for the run store's ``tuning`` field."""
+        return {
+            "mode": self.mode,
+            "signature": self.signature,
+            "seeded": self.seeded,
+            "final": self.current_config(),
+            "decisions": [d.to_json() for d in self.decisions],
+            "predictions": {
+                str(depth): seconds
+                for depth, seconds in sorted(self._predictions.items())
+            },
+        }
+
+    def describe(self) -> List[str]:
+        """Human lines for ``ParallelLoop.explain()``'s Tuning section."""
+        lines = [f"mode: {self.mode}  (cache: {self.cache.path})"]
+        if self.seeded is not None:
+            lines.append(f"seeded from cache: {self.seeded}")
+        elif self.mode in ("auto", "cached"):
+            lines.append("cache: miss (cold start)")
+        final = self.current_config()
+        lines.append(
+            "configuration: depth={pipeline_depth} prefetch={prefetch} "
+            "cache_prefetch={cache_prefetch}".format(**final)
+        )
+        for decision in self.decisions:
+            verb = "applied" if decision.applied else "declined"
+            lines.append(
+                f"epoch {decision.epoch}: {verb} {decision.knob} "
+                f"{decision.old} -> {decision.new}  ({decision.reason})"
+            )
+        if not self.decisions:
+            lines.append("no decisions yet (runs adapt between epochs)")
+        return lines
